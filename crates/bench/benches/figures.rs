@@ -1,0 +1,112 @@
+//! Figure-regeneration benchmarks: every paper figure at reduced scale.
+//!
+//! These keep the complete experiment pipeline under `cargo bench` so a
+//! regression anywhere (generators, evaluators, metrics, statistics) shows
+//! up as a timing or a panic here. The printed figures themselves are
+//! produced by the `robusched-experiments` binary at full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robusched_experiments::figs;
+use robusched_experiments::RunOptions;
+
+fn opts(scale: f64) -> RunOptions {
+    RunOptions {
+        scale,
+        out_dir: None,
+        seed: 99,
+    }
+}
+
+fn fig1_accuracy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig1-accuracy", |b| {
+        b.iter(|| figs::fig1::run(&opts(0.02)).unwrap())
+    });
+    g.finish();
+}
+
+fn fig2_overlay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig2-overlay", |b| {
+        b.iter(|| figs::fig2::run(&opts(0.05)).unwrap())
+    });
+    g.finish();
+}
+
+fn fig3_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3-cholesky-correlations", |b| {
+        b.iter(|| figs::fig3::run(&opts(0.01)).unwrap())
+    });
+    g.finish();
+}
+
+fn fig4_random(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig4-random-correlations", |b| {
+        b.iter(|| figs::fig4::run(&opts(0.01)).unwrap())
+    });
+    g.finish();
+}
+
+fn fig5_ge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig5-ge-correlations", |b| {
+        b.iter(|| figs::fig5::run(&opts(0.02)).unwrap())
+    });
+    g.finish();
+}
+
+fn fig6_aggregate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig6-24-case-aggregate", |b| {
+        b.iter(|| figs::fig6::run(&opts(0.005)).unwrap())
+    });
+    g.finish();
+}
+
+fn fig7_special(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig7-special-distribution", |b| {
+        b.iter(|| figs::fig7::run(&opts(1.0)).unwrap())
+    });
+    g.finish();
+}
+
+fn fig8_clt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig8-clt-convergence", |b| {
+        b.iter(|| figs::fig8::run(&opts(0.3)).unwrap())
+    });
+    g.finish();
+}
+
+fn fig9_slack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig9-slack-quadrants", |b| {
+        b.iter(|| figs::fig9::run(&opts(1.0)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig1_accuracy,
+    fig2_overlay,
+    fig3_cholesky,
+    fig4_random,
+    fig5_ge,
+    fig6_aggregate,
+    fig7_special,
+    fig8_clt,
+    fig9_slack
+);
+criterion_main!(figures);

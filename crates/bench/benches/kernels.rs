@@ -1,0 +1,112 @@
+//! Kernel benchmarks: the numeric and scheduling hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use robusched_bench::{bench_scenario, bench_scenario_medium, bench_schedule};
+use robusched_numeric::convolution::{convolve_direct, convolve_fft, convolve_overlap_add};
+use robusched_randvar::{DiscreteRv, ScaledBeta};
+use robusched_sched::{bil, cpop, heft, hyb_bmct, random_schedule, sigma_heft};
+use robusched_stochastic::{evaluate_classic, evaluate_dodin, evaluate_spelde, mc_makespans, McConfig};
+use std::hint::black_box;
+
+fn convolution_kernels(c: &mut Criterion) {
+    let a: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin().abs()).collect();
+    let b: Vec<f64> = (0..256).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    let mut g = c.benchmark_group("convolution-256");
+    g.bench_function("direct", |bch| {
+        bch.iter(|| convolve_direct(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("fft", |bch| {
+        bch.iter(|| convolve_fft(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("overlap_add", |bch| {
+        bch.iter(|| convolve_overlap_add(black_box(&a), black_box(&b), 64))
+    });
+    g.finish();
+}
+
+fn rv_calculus(c: &mut Criterion) {
+    let x = DiscreteRv::from_dist_default(&ScaledBeta::paper_default(20.0, 1.1));
+    let y = DiscreteRv::from_dist_default(&ScaledBeta::paper_default(15.0, 1.1));
+    let mut g = c.benchmark_group("discrete-rv");
+    g.bench_function("sum", |b| b.iter(|| black_box(&x).sum(black_box(&y))));
+    g.bench_function("max", |b| b.iter(|| black_box(&x).max(black_box(&y))));
+    g.bench_function("mean+std", |b| {
+        b.iter(|| (black_box(&x).mean(), black_box(&x).std_dev()))
+    });
+    g.bench_function("entropy", |b| b.iter(|| black_box(&x).entropy()));
+    g.finish();
+}
+
+fn heuristics(c: &mut Criterion) {
+    let s = bench_scenario();
+    let m = bench_scenario_medium();
+    let mut g = c.benchmark_group("heuristics");
+    g.bench_function("heft-30", |b| b.iter(|| heft(black_box(&s))));
+    g.bench_function("bil-30", |b| b.iter(|| bil(black_box(&s))));
+    g.bench_function("bmct-30", |b| b.iter(|| hyb_bmct(black_box(&s))));
+    g.bench_function("cpop-30", |b| b.iter(|| cpop(black_box(&s))));
+    g.bench_function("heft-100", |b| b.iter(|| heft(black_box(&m))));
+    g.bench_function("sigma-heft-30", |b| b.iter(|| sigma_heft(black_box(&s), 1.0)));
+    g.bench_function("random-schedule-30", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            random_schedule(&s.graph.dag, 8, seed)
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: classic-evaluator cost as a function of the PDF grid
+/// resolution (the paper's 64-point choice sits on the knee).
+fn grid_resolution_ablation(c: &mut Criterion) {
+    use robusched_stochastic::classic::evaluate_classic_grid;
+    let s = bench_scenario();
+    let sched = bench_schedule(&s);
+    let mut g = c.benchmark_group("grid-ablation");
+    g.sample_size(20);
+    for grid in [16usize, 32, 64, 128, 256] {
+        g.bench_function(format!("classic-grid-{grid}"), |b| {
+            b.iter(|| evaluate_classic_grid(black_box(&s), black_box(&sched), grid))
+        });
+    }
+    g.finish();
+}
+
+fn evaluators(c: &mut Criterion) {
+    let s = bench_scenario();
+    let sched = bench_schedule(&s);
+    let mut g = c.benchmark_group("makespan-evaluators");
+    g.sample_size(20);
+    g.bench_function("classic-30", |b| {
+        b.iter(|| evaluate_classic(black_box(&s), black_box(&sched)))
+    });
+    g.bench_function("spelde-30", |b| {
+        b.iter(|| evaluate_spelde(black_box(&s), black_box(&sched)))
+    });
+    g.bench_function("dodin-30", |b| {
+        b.iter(|| evaluate_dodin(black_box(&s), black_box(&sched), 64))
+    });
+    g.bench_function("mc-2048-realizations", |b| {
+        b.iter_batched(
+            || McConfig {
+                realizations: 2048,
+                seed: 7,
+                threads: Some(1),
+            },
+            |cfg| mc_makespans(&s, &sched, &cfg),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    convolution_kernels,
+    rv_calculus,
+    heuristics,
+    evaluators,
+    grid_resolution_ablation
+);
+criterion_main!(kernels);

@@ -1,0 +1,43 @@
+//! # robusched-bench
+//!
+//! Criterion benchmarks. Two groups:
+//!
+//! * **kernels** — the numeric hot paths (convolution, RV sum/max, FFT,
+//!   heuristics, analytic evaluation, Monte-Carlo throughput);
+//! * **figures** — reduced-size regenerations of every paper figure, so
+//!   `cargo bench` exercises the complete experiment pipeline end to end
+//!   and tracks its cost over time.
+//!
+//! Shared fixtures live here so individual bench files stay declarative.
+
+use robusched_platform::Scenario;
+use robusched_sched::{heft, Schedule};
+
+/// A small standard scenario used across benches (30 tasks, 8 machines,
+/// UL = 1.1).
+pub fn bench_scenario() -> Scenario {
+    Scenario::paper_random(30, 8, 1.1, 0xBEEF)
+}
+
+/// A medium scenario (100 tasks, 16 machines).
+pub fn bench_scenario_medium() -> Scenario {
+    Scenario::paper_random(100, 16, 1.1, 0xBEEF)
+}
+
+/// The HEFT schedule of the small scenario.
+pub fn bench_schedule(s: &Scenario) -> Schedule {
+    heft(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_materialize() {
+        let s = bench_scenario();
+        let sched = bench_schedule(&s);
+        assert!(sched.validate(&s.graph.dag).is_ok());
+        assert_eq!(bench_scenario_medium().task_count(), 100);
+    }
+}

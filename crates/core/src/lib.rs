@@ -1,0 +1,35 @@
+//! # robusched-core
+//!
+//! The paper's contribution: robustness metrics for stochastic DAG
+//! schedules and the machinery that compares them.
+//!
+//! §IV defines the metric set; [`metrics`] implements all of them (plus the
+//! `R₂` late-fraction metric of Shi, Jeannot & Dongarra that the related
+//! work discusses):
+//!
+//! | metric | symbol | computed from |
+//! |---|---|---|
+//! | expected makespan | `E(M)` | makespan RV |
+//! | makespan standard deviation | `σ_M` | makespan RV |
+//! | makespan differential entropy | `h(M)` | makespan RV |
+//! | average slack | `S̄` | mean-duration disjunctive graph |
+//! | slack standard deviation | `σ_S` | per-task slacks |
+//! | average lateness | `L` | makespan RV (`E[M′] − E[M]`) |
+//! | absolute probabilistic | `A(δ)` | `P(E−δ ≤ M ≤ E+δ)` |
+//! | relative probabilistic | `R(γ)` | `P(E/γ ≤ M ≤ γE)` |
+//! | late fraction (ext.) | `R₂` | `P(M > E[M])` |
+//!
+//! [`study`] runs the paper's experimental protocol on a scenario: sample
+//! thousands of random schedules (plus HEFT, BIL, Hyb.BMCT and optionally
+//! CPOP), evaluate every metric per schedule, and emit the Pearson
+//! correlation matrix with the paper's plotting orientation (§VI inverts
+//! the slack and the two probabilistic metrics so that "optimized" always
+//! means "minimized").
+
+pub mod metrics;
+pub mod optimize;
+pub mod study;
+
+pub use metrics::{compute_metrics, MetricOptions, MetricValues, METRIC_LABELS};
+pub use optimize::{pareto_search, ParetoPoint, SearchConfig};
+pub use study::{pearson_matrix, run_case, spearman_matrix, CaseResult, StudyConfig};

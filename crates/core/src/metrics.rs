@@ -1,0 +1,304 @@
+//! The robustness metrics of §IV.
+
+use robusched_platform::Scenario;
+use robusched_randvar::DiscreteRv;
+use robusched_sched::Schedule;
+use robusched_stats::descriptive::{mean, population_std};
+use robusched_stochastic::DisjunctiveGraph;
+
+/// Labels of the eight §IV metrics, in the paper's Fig. 6 order.
+pub const METRIC_LABELS: [&str; 8] = [
+    "avg_makespan",
+    "makespan_std",
+    "makespan_entropy",
+    "avg_slack",
+    "slack_std",
+    "avg_lateness",
+    "abs_prob",
+    "rel_prob",
+];
+
+/// Parameters of the probabilistic metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricOptions {
+    /// Half-width `δ` of the absolute window (paper: 0.1).
+    pub delta: f64,
+    /// Ratio `γ > 1` of the relative window (paper: 1.0003).
+    pub gamma: f64,
+}
+
+impl Default for MetricOptions {
+    fn default() -> Self {
+        // §V: "we have chosen δ = 0.1 and γ = 1.0003 in order to have
+        // values well distributed on the interval [0, 1]".
+        Self {
+            delta: 0.1,
+            gamma: 1.0003,
+        }
+    }
+}
+
+/// All metric values of one schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricValues {
+    /// Expected makespan `E(M)`.
+    pub expected_makespan: f64,
+    /// Makespan standard deviation `σ_M`.
+    pub makespan_std: f64,
+    /// Differential entropy `h(M) = −∫ f ln f` (standard sign; see
+    /// DESIGN.md on the paper's typo).
+    pub makespan_entropy: f64,
+    /// Average slack `S̄` (mean of per-task slacks on the mean-duration
+    /// disjunctive graph).
+    pub avg_slack: f64,
+    /// Population standard deviation of the per-task slacks.
+    pub slack_std: f64,
+    /// Average lateness `L = E[M | M > E(M)] − E(M)`.
+    pub avg_lateness: f64,
+    /// Absolute probabilistic metric `A(δ)`.
+    pub prob_absolute: f64,
+    /// Relative probabilistic metric `R(γ)`.
+    pub prob_relative: f64,
+    /// Extension: late fraction `P(M > E(M))` (the `R₂` of Shi et al.).
+    pub late_fraction: f64,
+    /// Extension: total slack `Σ sᵢ` (the raw sum of §IV's formula).
+    pub total_slack: f64,
+}
+
+impl MetricValues {
+    /// The §IV metric vector in [`METRIC_LABELS`] order, with the paper's
+    /// plotting orientation applied: slack negated, probabilistic metrics
+    /// inverted (`1 − ·`) — "for easing the reading of the plot, we
+    /// inverted three metrics in order to have the optimization of the
+    /// metrics corresponding to its minimization". Pearson coefficients
+    /// computed on these columns reproduce the signs of Figs. 3–6.
+    /// (Negating the slack is affinely equivalent to the paper's
+    /// `max − S` inversion, so the coefficients are identical.)
+    pub fn oriented_vector(&self) -> [f64; 8] {
+        [
+            self.expected_makespan,
+            self.makespan_std,
+            self.makespan_entropy,
+            -self.avg_slack,
+            self.slack_std,
+            self.avg_lateness,
+            1.0 - self.prob_absolute,
+            1.0 - self.prob_relative,
+        ]
+    }
+}
+
+/// Computes every §IV metric for one schedule given its makespan
+/// distribution (produced by any of the `robusched-stochastic`
+/// evaluators).
+pub fn compute_metrics(
+    scenario: &Scenario,
+    schedule: &Schedule,
+    makespan: &DiscreteRv,
+    opts: &MetricOptions,
+) -> MetricValues {
+    let e = makespan.mean();
+    let std = makespan.std_dev();
+    let entropy = makespan.entropy();
+    let lateness = makespan
+        .conditional_mean_above(e)
+        .map_or(0.0, |m_late| m_late - e);
+    let late_fraction = 1.0 - makespan.cdf_at(e);
+    let prob_absolute = makespan.prob_between(e - opts.delta, e + opts.delta);
+    let prob_relative = makespan.prob_between(e / opts.gamma, e * opts.gamma);
+
+    let (avg_slack, slack_std, total_slack) = slack_metrics(scenario, schedule, e);
+
+    MetricValues {
+        expected_makespan: e,
+        makespan_std: std,
+        makespan_entropy: entropy,
+        avg_slack,
+        slack_std,
+        avg_lateness: lateness,
+        prob_absolute,
+        prob_relative,
+        late_fraction,
+        total_slack,
+    }
+}
+
+/// Slack metrics on the mean-duration disjunctive graph.
+///
+/// §IV: `sᵢ = M − Bl(i) − Tl(i)` where `M` is the average makespan and the
+/// levels use "the average value of … the task duration and the
+/// communication duration". Returns `(mean, population std, sum)`.
+pub fn slack_metrics(
+    scenario: &Scenario,
+    schedule: &Schedule,
+    avg_makespan: f64,
+) -> (f64, f64, f64) {
+    let dg = DisjunctiveGraph::build(&scenario.graph.dag, schedule);
+    let node_w = |v: usize| scenario.mean_task_cost(v, schedule.machine_of(v));
+    let orig = &dg.orig_edge;
+    let edge_w = |e: usize| -> f64 {
+        match orig[e] {
+            Some(orig_e) => {
+                let (u, v) = dg.dag.edge_endpoints(e);
+                scenario.mean_comm_cost(orig_e, schedule.machine_of(u), schedule.machine_of(v))
+            }
+            None => 0.0,
+        }
+    };
+    let tl = dg.dag.top_levels(node_w, edge_w);
+    let bl = dg.dag.bottom_levels(node_w, edge_w);
+    let slacks: Vec<f64> = (0..scenario.task_count())
+        .map(|v| avg_makespan - bl[v] - tl[v])
+        .collect();
+    (
+        mean(&slacks),
+        population_std(&slacks),
+        slacks.iter().sum(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robusched_dag::generators;
+    use robusched_numeric::approx_eq;
+    use robusched_platform::{CostMatrix, Platform, UncertaintyModel};
+    use robusched_stochastic::evaluate_classic;
+
+    fn case() -> (Scenario, Schedule, DiscreteRv) {
+        let s = Scenario::paper_random(15, 3, 1.1, 21);
+        let sched = robusched_sched::heft(&s);
+        let rv = evaluate_classic(&s, &sched);
+        (s, sched, rv)
+    }
+
+    #[test]
+    fn all_metrics_finite_and_sane() {
+        let (s, sched, rv) = case();
+        let m = compute_metrics(&s, &sched, &rv, &MetricOptions::default());
+        assert!(m.expected_makespan > 0.0);
+        assert!(m.makespan_std >= 0.0);
+        assert!(m.makespan_entropy.is_finite());
+        assert!((0.0..=1.0).contains(&m.prob_absolute));
+        assert!((0.0..=1.0).contains(&m.prob_relative));
+        assert!((0.0..=1.0).contains(&m.late_fraction));
+        assert!(m.avg_lateness >= 0.0);
+        assert!(m.avg_lateness <= rv.span());
+    }
+
+    #[test]
+    fn chain_schedule_has_zero_slack() {
+        // Fully sequential schedule: every task on the critical path.
+        let tg = generators::chain(4);
+        let costs = CostMatrix::from_rows(4, 1, vec![10.0; 4]);
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(1),
+            costs,
+            UncertaintyModel::paper(1.1),
+        );
+        let sched = Schedule::new(vec![0; 4], vec![vec![0, 1, 2, 3]]);
+        let rv = evaluate_classic(&s, &sched);
+        let m = compute_metrics(&s, &sched, &rv, &MetricOptions::default());
+        // Slack ≈ 0 (up to the tiny analytic-mean vs level-sum mismatch).
+        assert!(
+            m.avg_slack.abs() < 0.05 * m.expected_makespan,
+            "slack {}",
+            m.avg_slack
+        );
+        assert!(m.slack_std.abs() < 0.05 * m.expected_makespan);
+    }
+
+    #[test]
+    fn parallel_branch_creates_slack() {
+        // Fork-join with one long and one short branch: the short branch
+        // task has positive slack.
+        let tg = generators::fork_join(2);
+        let costs = CostMatrix::from_rows(
+            3,
+            2,
+            vec![100.0, 100.0, 1.0, 1.0, 10.0, 10.0],
+        );
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(2),
+            costs,
+            UncertaintyModel::paper(1.01),
+        );
+        let sched = Schedule::new(vec![0, 1, 0], vec![vec![0, 2], vec![1]]);
+        let rv = evaluate_classic(&s, &sched);
+        let m = compute_metrics(&s, &sched, &rv, &MetricOptions::default());
+        assert!(m.avg_slack > 10.0, "avg slack {}", m.avg_slack);
+        assert!(m.slack_std > 10.0, "slack std {}", m.slack_std);
+    }
+
+    #[test]
+    fn probabilistic_metrics_monotone_in_window() {
+        let (s, sched, rv) = case();
+        let narrow = compute_metrics(
+            &s,
+            &sched,
+            &rv,
+            &MetricOptions {
+                delta: 0.05,
+                gamma: 1.0001,
+            },
+        );
+        let wide = compute_metrics(
+            &s,
+            &sched,
+            &rv,
+            &MetricOptions {
+                delta: 1.0,
+                gamma: 1.01,
+            },
+        );
+        assert!(wide.prob_absolute >= narrow.prob_absolute);
+        assert!(wide.prob_relative >= narrow.prob_relative);
+    }
+
+    #[test]
+    fn lateness_matches_gaussian_rule_of_thumb() {
+        // For the near-Gaussian makespan, L ≈ σ·√(2/π).
+        let (s, sched, rv) = case();
+        let m = compute_metrics(&s, &sched, &rv, &MetricOptions::default());
+        let expect = m.makespan_std * (2.0 / std::f64::consts::PI).sqrt();
+        assert!(
+            (m.avg_lateness - expect).abs() < 0.5 * expect,
+            "L {} vs gaussian {}",
+            m.avg_lateness,
+            expect
+        );
+    }
+
+    #[test]
+    fn oriented_vector_signs() {
+        let (s, sched, rv) = case();
+        let m = compute_metrics(&s, &sched, &rv, &MetricOptions::default());
+        let v = m.oriented_vector();
+        assert_eq!(v[0], m.expected_makespan);
+        assert_eq!(v[3], -m.avg_slack);
+        assert!(approx_eq(v[6], 1.0 - m.prob_absolute, 1e-15));
+        assert!(approx_eq(v[7], 1.0 - m.prob_relative, 1e-15));
+    }
+
+    #[test]
+    fn deterministic_scenario_degenerates_gracefully() {
+        let tg = generators::chain(3);
+        let costs = CostMatrix::from_rows(3, 1, vec![5.0; 3]);
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(1),
+            costs,
+            UncertaintyModel::none(),
+        );
+        let sched = Schedule::new(vec![0; 3], vec![vec![0, 1, 2]]);
+        let rv = evaluate_classic(&s, &sched);
+        let m = compute_metrics(&s, &sched, &rv, &MetricOptions::default());
+        assert_eq!(m.makespan_std, 0.0);
+        assert_eq!(m.avg_lateness, 0.0);
+        assert_eq!(m.prob_absolute, 1.0);
+        assert_eq!(m.late_fraction, 0.0);
+        assert_eq!(m.makespan_entropy, f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,268 @@
+//! The experimental protocol of §V–§VI on one scenario ("case").
+//!
+//! Per case the paper evaluates 10 000 uniform random schedules (2 000 for
+//! the 100-task cases) plus the three heuristics, computes every metric for
+//! each schedule from its analytic makespan distribution, and reports the
+//! Pearson correlation matrix between the metrics. [`run_case`] implements
+//! exactly that, parallelized over schedules with crossbeam (fixed
+//! chunk-index seeding keeps the output identical for any thread count).
+
+use crate::metrics::{compute_metrics, MetricOptions, MetricValues, METRIC_LABELS};
+use crossbeam::thread;
+use robusched_platform::Scenario;
+use robusched_randvar::derive_seed;
+use robusched_sched::{bil, cpop, heft, hyb_bmct, random_schedule, Schedule};
+use robusched_stats::CorrMatrix;
+use robusched_stochastic::evaluate_classic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Study configuration for one case.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Number of random schedules (paper: 10 000; 2 000 for n = 100).
+    pub random_schedules: usize,
+    /// Master seed for schedule sampling.
+    pub seed: u64,
+    /// Probabilistic-metric parameters.
+    pub metric_opts: MetricOptions,
+    /// Worker threads (`None` = available parallelism).
+    pub threads: Option<usize>,
+    /// Also evaluate the heuristics (HEFT, BIL, Hyb.BMCT).
+    pub with_heuristics: bool,
+    /// Additionally evaluate CPOP (extension beyond the paper's set).
+    pub with_cpop: bool,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self {
+            random_schedules: 10_000,
+            seed: 1,
+            metric_opts: MetricOptions::default(),
+            threads: None,
+            with_heuristics: true,
+            with_cpop: false,
+        }
+    }
+}
+
+/// The outcome of one case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Metrics of every random schedule, in sampling order.
+    pub random: Vec<MetricValues>,
+    /// Metrics of the heuristic schedules, labeled.
+    pub heuristics: Vec<(String, MetricValues)>,
+    /// Pearson correlation matrix over the random schedules, in the
+    /// paper's plotting orientation (see
+    /// [`MetricValues::oriented_vector`]).
+    pub pearson: CorrMatrix,
+}
+
+/// Schedules per work chunk (fixed for thread-count determinism).
+const CHUNK: usize = 64;
+
+/// Runs the §V protocol on one scenario.
+///
+/// # Panics
+/// Panics if `random_schedules == 0`.
+pub fn run_case(scenario: &Scenario, cfg: &StudyConfig) -> CaseResult {
+    assert!(cfg.random_schedules > 0, "need at least one schedule");
+    let m = scenario.machine_count();
+
+    let eval_one = |schedule: &Schedule| -> MetricValues {
+        let rv = evaluate_classic(scenario, schedule);
+        compute_metrics(scenario, schedule, &rv, &cfg.metric_opts)
+    };
+
+    // ---- Random schedules, parallel with fixed chunk seeding. ----
+    let mut random: Vec<MetricValues> = Vec::with_capacity(cfg.random_schedules);
+    {
+        let mut slots: Vec<Option<MetricValues>> = vec![None; cfg.random_schedules];
+        let chunks: Vec<&mut [Option<MetricValues>]> = slots.chunks_mut(CHUNK).collect();
+        let n_chunks = chunks.len();
+        let chunk_slots: Vec<std::sync::Mutex<Option<&mut [Option<MetricValues>]>>> =
+            chunks.into_iter().map(|c| std::sync::Mutex::new(Some(c))).collect();
+        let next = AtomicUsize::new(0);
+        let threads = cfg
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let slice = chunk_slots[c]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("chunk claimed once");
+                    for (k, slot) in slice.iter_mut().enumerate() {
+                        let idx = c * CHUNK + k;
+                        let sched = random_schedule(
+                            &scenario.graph.dag,
+                            m,
+                            derive_seed(cfg.seed, idx as u64),
+                        );
+                        *slot = Some(eval_one(&sched));
+                    }
+                });
+            }
+        })
+        .expect("study worker panicked");
+        random.extend(slots.into_iter().map(|s| s.expect("all chunks done")));
+    }
+
+    // ---- Heuristics. ----
+    let mut heuristics = Vec::new();
+    if cfg.with_heuristics {
+        heuristics.push(("HEFT".to_string(), eval_one(&heft(scenario))));
+        heuristics.push(("BIL".to_string(), eval_one(&bil(scenario))));
+        heuristics.push(("Hyb.BMCT".to_string(), eval_one(&hyb_bmct(scenario))));
+        if cfg.with_cpop {
+            heuristics.push(("CPOP".to_string(), eval_one(&cpop(scenario))));
+        }
+    }
+
+    // ---- Correlation matrix over the random schedules. ----
+    let pearson = pearson_matrix(&random);
+
+    CaseResult {
+        random,
+        heuristics,
+        pearson,
+    }
+}
+
+/// The §VI Pearson matrix of a metric sample (paper orientation).
+pub fn pearson_matrix(rows: &[MetricValues]) -> CorrMatrix {
+    matrix_with(rows, robusched_stats::pearson)
+}
+
+/// Spearman (rank) correlation matrix of a metric sample — an extension
+/// robust to the "slightly curved set of points" the paper notes Pearson
+/// merely tolerates.
+pub fn spearman_matrix(rows: &[MetricValues]) -> CorrMatrix {
+    matrix_with(rows, robusched_stats::spearman)
+}
+
+fn matrix_with(rows: &[MetricValues], corr: fn(&[f64], &[f64]) -> f64) -> CorrMatrix {
+    let k = METRIC_LABELS.len();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(rows.len()); k];
+    for r in rows {
+        for (c, v) in r.oriented_vector().into_iter().enumerate() {
+            columns[c].push(v);
+        }
+    }
+    let mut values = vec![0.0; k * k];
+    for i in 0..k {
+        values[i * k + i] = 1.0;
+        for j in i + 1..k {
+            let r = corr(&columns[i], &columns[j]);
+            values[i * k + j] = r;
+            values[j * k + i] = r;
+        }
+    }
+    CorrMatrix::from_values(
+        METRIC_LABELS.iter().map(|s| s.to_string()).collect(),
+        values,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(k: usize) -> StudyConfig {
+        StudyConfig {
+            random_schedules: k,
+            seed: 3,
+            with_heuristics: true,
+            with_cpop: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn small_case_runs_and_correlates() {
+        let scenario = Scenario::paper_random(10, 3, 1.1, 5);
+        let res = run_case(&scenario, &quick_cfg(200));
+        assert_eq!(res.random.len(), 200);
+        assert_eq!(res.heuristics.len(), 3);
+        // Core finding: σ, lateness and 1−A(δ) strongly positively
+        // correlated even at this small sample size.
+        let idx = |name: &str| METRIC_LABELS.iter().position(|&l| l == name).unwrap();
+        let r = res.pearson.get(idx("makespan_std"), idx("avg_lateness"));
+        assert!(r > 0.9, "σ vs lateness Pearson = {r}");
+        let r2 = res.pearson.get(idx("makespan_std"), idx("abs_prob"));
+        assert!(r2 > 0.9, "σ vs 1−A Pearson = {r2}");
+    }
+
+    #[test]
+    fn heuristics_beat_random_on_makespan() {
+        let scenario = Scenario::paper_random(20, 4, 1.1, 11);
+        let res = run_case(&scenario, &quick_cfg(300));
+        let best_random = res
+            .random
+            .iter()
+            .map(|m| m.expected_makespan)
+            .fold(f64::INFINITY, f64::min);
+        let median_random = {
+            let mut v: Vec<f64> = res.random.iter().map(|m| m.expected_makespan).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        for (name, m) in &res.heuristics {
+            assert!(
+                m.expected_makespan < median_random,
+                "{name} ({}) not better than the median random ({median_random})",
+                m.expected_makespan
+            );
+        }
+        // At least one heuristic near the best random schedule.
+        let best_h = res
+            .heuristics
+            .iter()
+            .map(|(_, m)| m.expected_makespan)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best_h <= best_random * 1.1, "{best_h} vs {best_random}");
+    }
+
+    #[test]
+    fn spearman_agrees_with_pearson_on_strong_cluster() {
+        let scenario = Scenario::paper_random(12, 3, 1.1, 19);
+        let res = run_case(&scenario, &quick_cfg(200));
+        let sp = spearman_matrix(&res.random);
+        let idx = |name: &str| METRIC_LABELS.iter().position(|&l| l == name).unwrap();
+        // On the near-linear cluster, rank correlation is as strong.
+        let r = sp.get(idx("makespan_std"), idx("avg_lateness"));
+        assert!(r > 0.9, "Spearman σ~L = {r}");
+        // Spearman matrix is symmetric with unit diagonal, like Pearson.
+        for i in 0..sp.dim() {
+            assert_eq!(sp.get(i, i), 1.0);
+            for j in 0..sp.dim() {
+                assert!((sp.get(i, j) - sp.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let scenario = Scenario::paper_random(10, 3, 1.1, 7);
+        let mut cfg = quick_cfg(130);
+        cfg.threads = Some(1);
+        let a = run_case(&scenario, &cfg);
+        cfg.threads = Some(4);
+        let b = run_case(&scenario, &cfg);
+        for (x, y) in a.random.iter().zip(b.random.iter()) {
+            assert_eq!(x.expected_makespan, y.expected_makespan);
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Task-graph generators — the paper's workloads.
+//!
+//! §V of the paper uses three graph families:
+//!
+//! * **random layered DAGs** — "each new node can only connect to the ones
+//!   at higher level and the out degree is uniformly chosen between one and
+//!   the sum of all nodes at higher levels"; deterministic weights come from
+//!   Gamma distributions with the coefficient-of-variation parameterization
+//!   of Ali et al. (`μ_task = 20`, `V_task = 0.5`, `CCR = 0.1`);
+//! * **Cholesky factorization** graphs (`b(b+1)/2` tasks for matrix size
+//!   `b`; the paper's 10-task instance is `b = 4`);
+//! * **Gaussian elimination** graphs after Cosnard, Marrakchi, Robert &
+//!   Trystram (`(b−1)(b+2)/2` tasks; `b = 14` gives 104 ≈ the paper's "103
+//!   tasks").
+//!
+//! Plus classic shapes (chain, fork-join, diamond, in-tree, independent)
+//! used by unit tests and by the Fig. 9 slack-vs-robustness experiment.
+//!
+//! Every generator takes an explicit seed and is bit-reproducible.
+
+use crate::graph::Dag;
+use crate::task_graph::TaskGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the §V layered random-DAG generator.
+#[derive(Debug, Clone)]
+pub struct LayeredRandomConfig {
+    /// Number of tasks.
+    pub n: usize,
+    /// Mean task work (paper: `μ_task = 20`).
+    pub mu_task: f64,
+    /// Coefficient of variation of task work (paper: `V_task = 0.5`).
+    pub cv_task: f64,
+    /// Communication-to-computation ratio (paper: `CCR = 0.1`).
+    pub ccr: f64,
+    /// Coefficient of variation of communication volumes.
+    pub cv_comm: f64,
+    /// Optional cap on the in-degree drawn for each node.
+    ///
+    /// The paper's verbal rule ("out degree … uniformly chosen between one
+    /// and the sum of all nodes at higher levels") taken literally yields
+    /// `Θ(n²)` edges, whose heavy ancestor sharing breaks the independence
+    /// assumption far worse (KS ≈ 0.5 at n = 100) than the paper's own
+    /// measured accuracy (KS ≈ 0.05–0.1, Fig. 1). The default cap of 5 is
+    /// calibrated so the reproduction matches the Fig. 1 accuracy curve;
+    /// `None` restores the literal unbounded rule. See DESIGN.md.
+    pub max_in_degree: Option<usize>,
+}
+
+impl Default for LayeredRandomConfig {
+    fn default() -> Self {
+        Self {
+            n: 30,
+            mu_task: 20.0,
+            cv_task: 0.5,
+            ccr: 0.1,
+            cv_comm: 0.5,
+            max_in_degree: Some(5),
+        }
+    }
+}
+
+fn gamma_mean_cv(rng: &mut StdRng, mean: f64, cv: f64) -> f64 {
+    use robusched_randvar::dist::sample_standard_gamma;
+    let shape = 1.0 / (cv * cv);
+    let scale = mean * cv * cv;
+    sample_standard_gamma(rng, shape) * scale
+}
+
+/// The paper's random layered DAG.
+///
+/// Nodes are created in order; node `i ≥ 1` draws an in-degree `d` uniformly
+/// from `{1, …, min(i, cap)}` and connects `d` distinct earlier nodes to it
+/// ("new nodes connect only to nodes at higher levels"). Node 0 is the sole
+/// guaranteed entry, but later nodes with no sampled parents cannot occur
+/// (`d ≥ 1`), so the graph is connected downward.
+pub fn layered_random(cfg: &LayeredRandomConfig, seed: u64) -> TaskGraph {
+    assert!(cfg.n >= 1, "need at least one task");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dag = Dag::new(cfg.n);
+    // Scratch index pool for partial Fisher–Yates parent sampling.
+    let mut pool: Vec<usize> = Vec::with_capacity(cfg.n);
+    for i in 1..cfg.n {
+        let cap = cfg.max_in_degree.unwrap_or(usize::MAX).clamp(1, i);
+        let d = rng.gen_range(1..=cap);
+        pool.clear();
+        pool.extend(0..i);
+        // Partial shuffle: pick d distinct parents.
+        for k in 0..d {
+            let j = rng.gen_range(k..pool.len());
+            pool.swap(k, j);
+            dag.add_edge(pool[k], i);
+        }
+    }
+    let task_work: Vec<f64> = (0..cfg.n)
+        .map(|_| gamma_mean_cv(&mut rng, cfg.mu_task, cfg.cv_task))
+        .collect();
+    let mu_comm = cfg.mu_task * cfg.ccr;
+    let comm_volume: Vec<f64> = (0..dag.edge_count())
+        .map(|_| gamma_mean_cv(&mut rng, mu_comm, cfg.cv_comm))
+        .collect();
+    TaskGraph::new(
+        dag,
+        task_work,
+        comm_volume,
+        format!("layered-n{}-seed{}", cfg.n, seed),
+    )
+}
+
+/// Cholesky factorization task graph for matrix size `b`.
+///
+/// Tasks: `C(k)` (diagonal / square root of column `k`) and `E(k, j)` for
+/// `k < j` (update of column `j` by column `k`) — `b(b+1)/2` tasks total.
+/// Dependencies: `C(k) → E(k, j)`, `E(k−1, j) → E(k, j)`, and
+/// `E(j−1, j) → C(j)`.
+///
+/// Work is structural (`b − k` for both kinds, the surviving column
+/// length), communication volume likewise; the platform layer may override
+/// per-task costs with the paper's `[minVal, 2·minVal]` scheme.
+pub fn cholesky(b: usize) -> TaskGraph {
+    assert!(b >= 1, "matrix size must be at least 1");
+    let n = b * (b + 1) / 2;
+    let mut dag = Dag::new(n);
+    // Task indexing: C(k) and E(k, j) mapped to dense ids.
+    let c_id = |k: usize| -> usize {
+        // C(k) preceded by all C(k') k'<k and all E(k', j) k'<k: count them
+        // column-major: before column k there are Σ_{k'<k} (1 + (b-1-k'))
+        // tasks = Σ (b - k') = k(2b + 1 − k)/2 (underflow-safe form).
+        k * (2 * b + 1 - k) / 2
+    };
+    let e_id = move |k: usize, j: usize| -> usize {
+        debug_assert!(k < j && j < b);
+        c_id(k) + 1 + (j - k - 1)
+    };
+    let mut work = vec![0.0; n];
+    for k in 0..b {
+        work[c_id(k)] = (b - k) as f64;
+        for j in k + 1..b {
+            work[e_id(k, j)] = (b - k) as f64;
+        }
+    }
+    let mut volumes = Vec::new();
+    let mut add = |dag: &mut Dag, u: usize, v: usize, vol: f64| {
+        dag.add_edge(u, v);
+        volumes.push(vol);
+    };
+    for k in 0..b {
+        for j in k + 1..b {
+            // Pivot column needed by each update.
+            add(&mut dag, c_id(k), e_id(k, j), (b - k) as f64);
+            // Successive updates of the same column are serialized.
+            if k + 1 < j {
+                add(&mut dag, e_id(k, j), e_id(k + 1, j), (b - k - 1) as f64);
+            }
+        }
+        // The last update of column j gates its diagonal task.
+        if k + 1 < b {
+            add(&mut dag, e_id(k, k + 1), c_id(k + 1), (b - k - 1) as f64);
+        }
+    }
+    TaskGraph::new(dag, work, volumes, format!("cholesky-{b}"))
+}
+
+/// Gaussian-elimination task graph (Cosnard et al.) for matrix size `b`.
+///
+/// Tasks: `T(k)` (prepare pivot column `k`, `k = 1…b−1`) and `T(k, j)`
+/// (update column `j`, `k < j ≤ b`) — `(b−1)(b+2)/2` tasks. `b = 14` gives
+/// 104 tasks, the paper's "Gaussian elimination graph of 103 tasks" (the
+/// one-task difference is a counting convention).
+pub fn gaussian_elimination(b: usize) -> TaskGraph {
+    assert!(b >= 2, "matrix size must be at least 2");
+    let n = (b - 1) * (b + 2) / 2;
+    let mut dag = Dag::new(n);
+    // T(k) for k in 1..b  → id t_id(k); T(k,j) for k<j≤b → id u_id(k, j).
+    // Column block k (1-based) holds T(k) then T(k, k+1..=b):
+    // block size = 1 + (b − k).
+    let t_id = |k: usize| -> usize {
+        // Σ_{k'=1}^{k-1} (1 + b − k') = (k−1)(b+1) − k(k−1)/2... compute directly.
+        (1..k).map(|k2| 1 + b - k2).sum()
+    };
+    let u_id = move |k: usize, j: usize| -> usize {
+        debug_assert!(k < j && j <= b);
+        t_id(k) + 1 + (j - k - 1)
+    };
+    let mut work = vec![0.0; n];
+    for k in 1..b {
+        work[t_id(k)] = (b - k) as f64;
+        for j in k + 1..=b {
+            work[u_id(k, j)] = 2.0 * (b - k) as f64;
+        }
+    }
+    let mut volumes = Vec::new();
+    let mut add = |dag: &mut Dag, u: usize, v: usize, vol: f64| {
+        dag.add_edge(u, v);
+        volumes.push(vol);
+    };
+    for k in 1..b {
+        for j in k + 1..=b {
+            // Pivot before updates.
+            add(&mut dag, t_id(k), u_id(k, j), (b - k) as f64);
+            // Column j flows into the next elimination stage.
+            if j > k + 1 {
+                add(&mut dag, u_id(k, j), u_id(k + 1, j), (b - k - 1) as f64);
+            }
+        }
+        // The updated pivot column k+1 gates T(k+1).
+        if k + 1 < b {
+            add(&mut dag, u_id(k, k + 1), t_id(k + 1), (b - k - 1) as f64);
+        }
+    }
+    TaskGraph::new(dag, work, volumes, format!("gauss-elim-{b}"))
+}
+
+/// A chain of `n` tasks with unit work and unit volumes.
+pub fn chain(n: usize) -> TaskGraph {
+    assert!(n >= 1);
+    let mut dag = Dag::new(n);
+    for i in 1..n {
+        dag.add_edge(i - 1, i);
+    }
+    TaskGraph::new(
+        dag,
+        vec![1.0; n],
+        vec![1.0; n.saturating_sub(1)],
+        format!("chain-{n}"),
+    )
+}
+
+/// The Fig. 9 join graph: `n` parallel tasks feeding one join task
+/// (`n + 1` tasks total). Task 0…n−1 are the branches, task `n` the join.
+pub fn fork_join(n: usize) -> TaskGraph {
+    assert!(n >= 1);
+    let mut dag = Dag::new(n + 1);
+    for i in 0..n {
+        dag.add_edge(i, n);
+    }
+    TaskGraph::new(
+        dag,
+        vec![1.0; n + 1],
+        vec![0.0; n],
+        format!("join-{n}"),
+    )
+}
+
+/// Diamond: one source, `w` parallel middle tasks, one sink (`w + 2` tasks).
+pub fn diamond(w: usize) -> TaskGraph {
+    assert!(w >= 1);
+    let n = w + 2;
+    let mut dag = Dag::new(n);
+    for i in 1..=w {
+        dag.add_edge(0, i);
+        dag.add_edge(i, n - 1);
+    }
+    TaskGraph::new(
+        dag,
+        vec![1.0; n],
+        vec![1.0; 2 * w],
+        format!("diamond-{w}"),
+    )
+}
+
+/// Complete in-tree of the given `depth` and `fanin` (children feed
+/// parents; the root is the single exit). Depth 1 is a single node.
+pub fn intree(depth: usize, fanin: usize) -> TaskGraph {
+    assert!(depth >= 1 && fanin >= 1);
+    // Count nodes level by level, leaves first.
+    let level_sizes: Vec<usize> = (0..depth)
+        .map(|d| fanin.pow((depth - 1 - d) as u32))
+        .collect();
+    let n: usize = level_sizes.iter().sum();
+    let mut dag = Dag::new(n);
+    // Nodes laid out level by level starting from the leaves.
+    let mut offset = 0usize;
+    let mut volumes = Vec::new();
+    for &this in level_sizes.iter().take(depth - 1) {
+        let next_off = offset + this;
+        for i in 0..this {
+            let parent = next_off + i / fanin;
+            dag.add_edge(offset + i, parent);
+            volumes.push(1.0);
+        }
+        offset = next_off;
+    }
+    TaskGraph::new(
+        dag,
+        vec![1.0; n],
+        volumes,
+        format!("intree-d{depth}-f{fanin}"),
+    )
+}
+
+/// `n` independent tasks (no edges).
+pub fn independent(n: usize) -> TaskGraph {
+    assert!(n >= 1);
+    TaskGraph::new(Dag::new(n), vec![1.0; n], vec![], format!("indep-{n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layered_random_shape() {
+        let cfg = LayeredRandomConfig {
+            n: 30,
+            ..Default::default()
+        };
+        let tg = layered_random(&cfg, 42);
+        assert_eq!(tg.task_count(), 30);
+        assert!(tg.dag.is_acyclic());
+        // Every non-first node has at least one parent.
+        for v in 1..30 {
+            assert!(tg.dag.in_degree(v) >= 1, "node {v} orphaned");
+        }
+        // Node 0 is an entry.
+        assert_eq!(tg.dag.in_degree(0), 0);
+    }
+
+    #[test]
+    fn layered_random_deterministic() {
+        let cfg = LayeredRandomConfig::default();
+        let a = layered_random(&cfg, 7);
+        let b = layered_random(&cfg, 7);
+        assert_eq!(a.dag.edge_count(), b.dag.edge_count());
+        assert_eq!(a.task_work, b.task_work);
+        let c = layered_random(&cfg, 8);
+        // Different seeds virtually always differ in structure or weights.
+        assert!(a.task_work != c.task_work);
+    }
+
+    #[test]
+    fn layered_random_weight_statistics() {
+        let cfg = LayeredRandomConfig {
+            n: 1000,
+            max_in_degree: None,
+            ..Default::default()
+        };
+        let tg = layered_random(&cfg, 3);
+        let mean = tg.task_work.iter().sum::<f64>() / 1000.0;
+        assert!((mean - 20.0).abs() < 1.5, "mean task work {mean}");
+        // CCR of volumes vs work ≈ 0.1.
+        let ccr = tg.realized_ccr() * tg.task_count() as f64 / tg.edge_count() as f64;
+        // volumes have mean 2 = 20·0.1; per-edge mean over per-task mean:
+        let vol_mean = tg.comm_volume.iter().sum::<f64>() / tg.edge_count() as f64;
+        assert!((vol_mean - 2.0).abs() < 0.3, "mean volume {vol_mean}, ccr {ccr}");
+    }
+
+    #[test]
+    fn layered_random_in_degree_cap() {
+        let cfg = LayeredRandomConfig {
+            n: 200,
+            max_in_degree: Some(3),
+            ..Default::default()
+        };
+        let tg = layered_random(&cfg, 5);
+        for v in 0..200 {
+            assert!(tg.dag.in_degree(v) <= 3);
+        }
+    }
+
+    #[test]
+    fn cholesky_task_count_matches_paper() {
+        // The paper's Fig. 3 instance: "Cholesky graph of 10 tasks" = b 4.
+        let tg = cholesky(4);
+        assert_eq!(tg.task_count(), 10);
+        assert!(tg.dag.is_acyclic());
+        // Single entry C(0), single exit C(b-1).
+        assert_eq!(tg.dag.entry_nodes().len(), 1);
+        assert_eq!(tg.dag.exit_nodes().len(), 1);
+    }
+
+    #[test]
+    fn cholesky_structure_small() {
+        // b = 2: tasks C(0), E(0,1), C(1); chain C0 → E01 → C1.
+        let tg = cholesky(2);
+        assert_eq!(tg.task_count(), 3);
+        assert_eq!(tg.edge_count(), 2);
+        assert!(tg.dag.has_edge(0, 1));
+        assert!(tg.dag.has_edge(1, 2));
+    }
+
+    #[test]
+    fn cholesky_depth_grows_linearly() {
+        let tg = cholesky(8);
+        assert_eq!(tg.task_count(), 36);
+        // Critical path visits C(k) and E(k, k+1) alternately: 2b − 1 nodes.
+        assert_eq!(tg.dag.depth(), 15);
+    }
+
+    #[test]
+    fn gaussian_elimination_counts() {
+        // b = 5 → 14 tasks (the classic HEFT-paper example); b = 14 → 104.
+        assert_eq!(gaussian_elimination(5).task_count(), 14);
+        let tg = gaussian_elimination(14);
+        assert_eq!(tg.task_count(), 104);
+        assert!(tg.dag.is_acyclic());
+        assert_eq!(tg.dag.entry_nodes().len(), 1);
+    }
+
+    #[test]
+    fn gaussian_elimination_structure_small() {
+        // b = 2: T(1), T(1,2): edge T1 → T12.
+        let tg = gaussian_elimination(2);
+        assert_eq!(tg.task_count(), 2);
+        assert_eq!(tg.edge_count(), 1);
+        assert!(tg.dag.has_edge(0, 1));
+    }
+
+    #[test]
+    fn chain_is_a_path() {
+        let tg = chain(5);
+        assert_eq!(tg.dag.depth(), 5);
+        assert_eq!(tg.edge_count(), 4);
+        assert_eq!(tg.dag.entry_nodes(), vec![0]);
+        assert_eq!(tg.dag.exit_nodes(), vec![4]);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let tg = fork_join(6);
+        assert_eq!(tg.task_count(), 7);
+        assert_eq!(tg.dag.in_degree(6), 6);
+        assert_eq!(tg.dag.entry_nodes().len(), 6);
+        assert_eq!(tg.dag.exit_nodes(), vec![6]);
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let tg = diamond(4);
+        assert_eq!(tg.task_count(), 6);
+        assert_eq!(tg.dag.out_degree(0), 4);
+        assert_eq!(tg.dag.in_degree(5), 4);
+        assert_eq!(tg.dag.depth(), 3);
+    }
+
+    #[test]
+    fn intree_shape() {
+        let tg = intree(3, 2);
+        // 4 leaves + 2 + 1 root = 7 nodes.
+        assert_eq!(tg.task_count(), 7);
+        assert_eq!(tg.dag.exit_nodes().len(), 1);
+        assert_eq!(tg.dag.entry_nodes().len(), 4);
+        assert_eq!(tg.dag.depth(), 3);
+    }
+
+    #[test]
+    fn independent_has_no_edges() {
+        let tg = independent(9);
+        assert_eq!(tg.edge_count(), 0);
+        assert_eq!(tg.dag.entry_nodes().len(), 9);
+    }
+}

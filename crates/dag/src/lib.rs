@@ -1,0 +1,31 @@
+//! # robusched-dag
+//!
+//! Task graphs for heterogeneous scheduling.
+//!
+//! The paper models an application as a DAG `G = (V, E, C)`: `V` tasks, `E`
+//! precedence (communication) edges, `C` communication volumes. This crate
+//! provides:
+//!
+//! * [`graph`] — the [`graph::Dag`] structure: adjacency in both directions,
+//!   topological ordering, reachability, entry/exit sets, and weighted
+//!   top/bottom levels (the ingredients of the slack metrics and of every
+//!   list heuristic's rank function);
+//! * [`task_graph`] — [`task_graph::TaskGraph`]: a `Dag` plus per-task work
+//!   and per-edge communication volumes (the `C` of the model);
+//! * [`generators`] — the paper's workloads: the layered random DAG of §V,
+//!   the Cholesky factorization graph (10 tasks at matrix size 4 — the
+//!   Fig. 3 instance), the Gaussian-elimination graph of Cosnard et al.
+//!   (104 tasks at matrix size 14 — the Fig. 5 instance, "103 tasks" in the
+//!   paper), and classic shapes (chain, fork-join, diamond, in-tree,
+//!   independent tasks) used by tests and the Fig. 9 experiment.
+
+pub mod generators;
+pub mod graph;
+pub mod task_graph;
+
+pub use generators::{
+    chain, cholesky, diamond, fork_join, gaussian_elimination, independent, intree,
+    layered_random, LayeredRandomConfig,
+};
+pub use graph::{Dag, EdgeId, NodeId};
+pub use task_graph::TaskGraph;

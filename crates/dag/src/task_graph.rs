@@ -1,0 +1,134 @@
+//! A DAG with workload annotations: the `G = (V, E, C)` of the paper.
+//!
+//! `task_work[v]` is the abstract amount of computation of task `v` — the
+//! *row mean* (random graphs) or *minimum duration* (real-application
+//! graphs) from which the platform layer derives the unrelated cost matrix.
+//! `comm_volume[e]` is the number of data elements shipped along edge `e`
+//! (the `C` set); actual communication time is `l + c·τ` and depends on the
+//! machine pair.
+
+use crate::graph::{Dag, EdgeId, NodeId};
+
+/// A task graph: structure + abstract work + communication volumes.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    /// Precedence structure.
+    pub dag: Dag,
+    /// Abstract computation amount per task (used by cost-matrix builders).
+    pub task_work: Vec<f64>,
+    /// Communication volume per edge.
+    pub comm_volume: Vec<f64>,
+    /// Human-readable provenance ("cholesky-4", "layered-n30-seed7", …).
+    pub name: String,
+}
+
+impl TaskGraph {
+    /// Builds a task graph, validating the annotation lengths.
+    ///
+    /// # Panics
+    /// Panics when lengths disagree with the DAG, any weight is negative or
+    /// non-finite, or the graph is cyclic.
+    pub fn new(dag: Dag, task_work: Vec<f64>, comm_volume: Vec<f64>, name: impl Into<String>) -> Self {
+        assert_eq!(
+            task_work.len(),
+            dag.node_count(),
+            "one work value per task required"
+        );
+        assert_eq!(
+            comm_volume.len(),
+            dag.edge_count(),
+            "one volume per edge required"
+        );
+        assert!(
+            task_work.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "task work must be finite and non-negative"
+        );
+        assert!(
+            comm_volume.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "communication volumes must be finite and non-negative"
+        );
+        assert!(dag.is_acyclic(), "task graph must be acyclic");
+        Self {
+            dag,
+            task_work,
+            comm_volume,
+            name: name.into(),
+        }
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// Number of dependence edges.
+    pub fn edge_count(&self) -> usize {
+        self.dag.edge_count()
+    }
+
+    /// Work of task `v`.
+    pub fn work(&self, v: NodeId) -> f64 {
+        self.task_work[v]
+    }
+
+    /// Volume of edge `e`.
+    pub fn volume(&self, e: EdgeId) -> f64 {
+        self.comm_volume[e]
+    }
+
+    /// The communication-to-computation ratio actually realized by the
+    /// annotations: `Σ volumes / Σ work`. Generators target a configured
+    /// CCR; this reports the sampled value.
+    pub fn realized_ccr(&self) -> f64 {
+        let work: f64 = self.task_work.iter().sum();
+        let comm: f64 = self.comm_volume.iter().sum();
+        if work == 0.0 {
+            0.0
+        } else {
+            comm / work
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TaskGraph {
+        let mut dag = Dag::new(3);
+        dag.add_edge(0, 1);
+        dag.add_edge(1, 2);
+        TaskGraph::new(dag, vec![10.0, 20.0, 30.0], vec![1.0, 2.0], "tiny")
+    }
+
+    #[test]
+    fn accessors() {
+        let tg = tiny();
+        assert_eq!(tg.task_count(), 3);
+        assert_eq!(tg.edge_count(), 2);
+        assert_eq!(tg.work(1), 20.0);
+        assert_eq!(tg.volume(1), 2.0);
+        assert_eq!(tg.name, "tiny");
+    }
+
+    #[test]
+    fn realized_ccr() {
+        let tg = tiny();
+        assert!((tg.realized_ccr() - 3.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one work value per task")]
+    fn wrong_work_length() {
+        let mut dag = Dag::new(2);
+        dag.add_edge(0, 1);
+        TaskGraph::new(dag, vec![1.0], vec![1.0], "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_work_rejected() {
+        let dag = Dag::new(1);
+        TaskGraph::new(dag, vec![-1.0], vec![], "bad");
+    }
+}

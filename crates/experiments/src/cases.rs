@@ -1,0 +1,264 @@
+//! The experimental case grid.
+//!
+//! §V: *"On the overall we have generated 52 cases with different graphs
+//! type, number of nodes, target platform, uncertainty level, etc. For each
+//! generated case, we built 10000 random schedules (2000 for those having
+//! n = 100)"*; §VI: Fig. 6 aggregates "24 different cases (the one with
+//! graph of 100 nodes or less)".
+//!
+//! The authors did not publish the exact composition; this module defines a
+//! documented grid with the same cardinalities: a 24-case tier-A set
+//! (n ≤ ~100, the Fig. 6 input), a 28-case tier-B replication set, and a
+//! separate tier-C "indication" set with ~1000-node graphs (Fig. 1 only) —
+//! 52 tier-A+B cases in total. See DESIGN.md for the substitution note.
+
+use robusched_dag::generators::{cholesky, gaussian_elimination};
+use robusched_platform::Scenario;
+use robusched_randvar::derive_seed;
+
+/// Which graph family a case draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// §V layered random DAG.
+    Random,
+    /// Cholesky factorization graph (parameter = matrix size).
+    Cholesky,
+    /// Gaussian elimination graph (parameter = matrix size).
+    GaussianElimination,
+}
+
+/// One experimental case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Stable identifier (used in CSV names).
+    pub id: String,
+    /// Graph family.
+    pub family: Family,
+    /// Family parameter: task count (random) or matrix size (real apps).
+    pub param: usize,
+    /// Machine count.
+    pub machines: usize,
+    /// Uncertainty level.
+    pub ul: f64,
+    /// Case seed.
+    pub seed: u64,
+    /// Paper-faithful number of random schedules for this case.
+    pub schedules: usize,
+}
+
+impl Case {
+    /// Number of tasks this case's graph will have.
+    pub fn task_count(&self) -> usize {
+        match self.family {
+            Family::Random => self.param,
+            Family::Cholesky => self.param * (self.param + 1) / 2,
+            Family::GaussianElimination => (self.param - 1) * (self.param + 2) / 2,
+        }
+    }
+
+    /// Materializes the scenario.
+    pub fn scenario(&self) -> Scenario {
+        match self.family {
+            Family::Random => Scenario::paper_random(self.param, self.machines, self.ul, self.seed),
+            Family::Cholesky => {
+                Scenario::paper_real_app(cholesky(self.param), self.machines, self.ul, self.seed)
+            }
+            Family::GaussianElimination => Scenario::paper_real_app(
+                gaussian_elimination(self.param),
+                self.machines,
+                self.ul,
+                self.seed,
+            ),
+        }
+    }
+}
+
+/// Paper schedule count for a task count (§V: 10 000, but 2 000 at n≈100).
+fn schedules_for(n_tasks: usize) -> usize {
+    if n_tasks >= 90 {
+        2_000
+    } else {
+        10_000
+    }
+}
+
+const ULS: [f64; 2] = [1.01, 1.1];
+
+/// Tier A: the 24 cases (n ≤ ~100) aggregated into Fig. 6.
+pub fn tier_a(master_seed: u64) -> Vec<Case> {
+    let mut cases = Vec::new();
+    let mut k = 0u64;
+    let mut push = |family: Family, param: usize, machines: usize, ul: f64, cases: &mut Vec<Case>| {
+        k += 1;
+        let seed = derive_seed(master_seed, k);
+        let c = Case {
+            id: String::new(),
+            family,
+            param,
+            machines,
+            ul,
+            seed,
+            schedules: 0,
+        };
+        let n = c.task_count();
+        let id = format!(
+            "{}-n{}-m{}-ul{}",
+            match family {
+                Family::Random => format!("rand{k}"),
+                Family::Cholesky => "chol".to_string(),
+                Family::GaussianElimination => "ge".to_string(),
+            },
+            n,
+            machines,
+            ul
+        );
+        cases.push(Case {
+            id,
+            schedules: schedules_for(n),
+            ..c
+        });
+    };
+    for ul in ULS {
+        // Random: (n, m) in the paper's figure configurations, 2 replicas.
+        for (n, m) in [(10, 3), (30, 8), (100, 16)] {
+            push(Family::Random, n, m, ul, &mut cases);
+            push(Family::Random, n, m, ul, &mut cases);
+        }
+        // Real applications at matching scales.
+        for (b, m) in [(4, 3), (7, 8), (13, 16)] {
+            push(Family::Cholesky, b, m, ul, &mut cases);
+        }
+        for (b, m) in [(5, 3), (8, 8), (13, 16)] {
+            push(Family::GaussianElimination, b, m, ul, &mut cases);
+        }
+    }
+    assert_eq!(cases.len(), 24);
+    cases
+}
+
+/// Tier B: 28 further replications (small/medium sizes), completing the
+/// paper's 52-case total together with tier A.
+pub fn tier_b(master_seed: u64) -> Vec<Case> {
+    let mut cases = Vec::new();
+    let mut k = 1000u64;
+    for ul in ULS {
+        for (n, m) in [(10, 3), (30, 8)] {
+            for _rep in 0..6 {
+                k += 1;
+                let seed = derive_seed(master_seed, k);
+                cases.push(Case {
+                    id: format!("randB{k}-n{n}-m{m}-ul{ul}"),
+                    family: Family::Random,
+                    param: n,
+                    machines: m,
+                    ul,
+                    seed,
+                    schedules: schedules_for(n),
+                });
+            }
+        }
+        // The ~100-node real-application instances (the paper's Fig. 5
+        // scale): Cholesky b = 14 (105 tasks), GE b = 14 (104 tasks).
+        for (family, b) in [(Family::Cholesky, 14), (Family::GaussianElimination, 14)] {
+            k += 1;
+            let seed = derive_seed(master_seed, k);
+            let c = Case {
+                id: String::new(),
+                family,
+                param: b,
+                machines: 16,
+                ul,
+                seed,
+                schedules: 0,
+            };
+            let n = c.task_count();
+            cases.push(Case {
+                id: format!(
+                    "{}B-n{}-m16-ul{}",
+                    if family == Family::Cholesky { "chol" } else { "ge" },
+                    n,
+                    ul
+                ),
+                schedules: schedules_for(n),
+                ..c
+            });
+        }
+    }
+    assert_eq!(cases.len(), 28);
+    cases
+}
+
+/// Tier C: the ~1000-node "indication" cases (§V keeps them out of the
+/// correlation aggregate; Fig. 1 uses them for the accuracy curve).
+pub fn tier_c(master_seed: u64) -> Vec<Case> {
+    ULS.iter()
+        .enumerate()
+        .map(|(i, &ul)| Case {
+            id: format!("rand-n1000-m16-ul{ul}"),
+            family: Family::Random,
+            param: 1000,
+            machines: 16,
+            ul,
+            seed: derive_seed(master_seed, 2000 + i as u64),
+            schedules: 100,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_sizes_match_paper() {
+        assert_eq!(tier_a(1).len(), 24);
+        assert_eq!(tier_b(1).len(), 28);
+        assert_eq!(tier_a(1).len() + tier_b(1).len(), 52);
+    }
+
+    #[test]
+    fn tier_a_all_small() {
+        for c in tier_a(1) {
+            assert!(c.task_count() <= 105, "{} too big", c.id);
+            assert!(c.schedules >= 2_000);
+        }
+    }
+
+    #[test]
+    fn schedule_counts_follow_paper() {
+        assert_eq!(schedules_for(10), 10_000);
+        assert_eq!(schedules_for(30), 10_000);
+        assert_eq!(schedules_for(100), 2_000);
+    }
+
+    #[test]
+    fn cases_materialize() {
+        for c in tier_a(7).into_iter().take(4) {
+            let s = c.scenario();
+            assert_eq!(s.task_count(), c.task_count());
+            assert_eq!(s.machine_count(), c.machines);
+        }
+    }
+
+    #[test]
+    fn case_ids_unique() {
+        let mut ids: Vec<String> = tier_a(1)
+            .into_iter()
+            .chain(tier_b(1))
+            .map(|c| c.id)
+            .collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate case ids");
+    }
+
+    #[test]
+    fn deterministic_in_master_seed() {
+        let a = tier_a(9);
+        let b = tier_a(9);
+        assert_eq!(a[0].seed, b[0].seed);
+        let c = tier_a(10);
+        assert_ne!(a[0].seed, c[0].seed);
+    }
+}

@@ -1,0 +1,122 @@
+//! Extension: sensitivity of the metric equivalence to the uncertainty
+//! distribution family.
+//!
+//! The paper fixes Beta(2, 5) and asks (§VIII) whether the results extend
+//! to "non-standard probability distributions". We rerun a miniature §VI
+//! study under each built-in family (Beta, Uniform, Triangular) and report
+//! the equivalence-cluster correlations.
+
+use crate::RunOptions;
+use robusched_core::{run_case, StudyConfig, METRIC_LABELS};
+use robusched_platform::{Scenario, UncertaintyKind, UncertaintyModel};
+use robusched_randvar::derive_seed;
+
+/// Cluster correlations for one distribution family.
+#[derive(Debug, Clone)]
+pub struct FamilyResult {
+    /// The family.
+    pub kind: UncertaintyKind,
+    /// corr(σ_M, lateness).
+    pub sigma_lateness: f64,
+    /// corr(σ_M, 1−A(δ)).
+    pub sigma_absprob: f64,
+    /// corr(σ_M, entropy).
+    pub sigma_entropy: f64,
+}
+
+/// Runs the experiment.
+pub fn run(opts: &RunOptions) -> std::io::Result<Vec<FamilyResult>> {
+    let schedules = opts.count(2_000, 80);
+    let idx = |n: &str| METRIC_LABELS.iter().position(|&l| l == n).unwrap();
+    let mut out = Vec::new();
+    for kind in [
+        UncertaintyKind::Beta25,
+        UncertaintyKind::Uniform,
+        UncertaintyKind::Triangular,
+    ] {
+        // Average over a few graphs per family.
+        let mut sl = Vec::new();
+        let mut sa = Vec::new();
+        let mut se = Vec::new();
+        for k in 0..3u64 {
+            let seed = derive_seed(opts.seed, 8000 + k);
+            let mut s = Scenario::paper_random(20, 4, 1.1, seed);
+            s.uncertainty = UncertaintyModel { ul: 1.1, kind };
+            let res = run_case(
+                &s,
+                &StudyConfig {
+                    random_schedules: schedules,
+                    seed,
+                    with_heuristics: false,
+                    ..Default::default()
+                },
+            );
+            sl.push(res.pearson.get(idx("makespan_std"), idx("avg_lateness")));
+            sa.push(res.pearson.get(idx("makespan_std"), idx("abs_prob")));
+            se.push(res.pearson.get(idx("makespan_std"), idx("makespan_entropy")));
+        }
+        out.push(FamilyResult {
+            kind,
+            sigma_lateness: robusched_stats::mean(&sl),
+            sigma_absprob: robusched_stats::mean(&sa),
+            sigma_entropy: robusched_stats::mean(&se),
+        });
+    }
+    let mut csv = String::from("family,sigma~lateness,sigma~absprob,sigma~entropy\n");
+    for f in &out {
+        csv.push_str(&format!(
+            "{:?},{:.4},{:.4},{:.4}\n",
+            f.kind, f.sigma_lateness, f.sigma_absprob, f.sigma_entropy
+        ));
+    }
+    opts.write_artifact("ext_distributions.csv", &csv)?;
+    Ok(out)
+}
+
+/// Human-readable rendering.
+pub fn render(rows: &[FamilyResult]) -> String {
+    let mut out = String::from(
+        "Extension: metric equivalence across uncertainty families\nfamily        σ~L      σ~(1−A)  σ~h\n",
+    );
+    for f in rows {
+        out.push_str(&format!(
+            "{:<12}  {:>6.3}  {:>7.3}  {:>6.3}\n",
+            format!("{:?}", f.kind),
+            f.sigma_lateness,
+            f.sigma_absprob,
+            f.sigma_entropy
+        ));
+    }
+    out.push_str("→ the CLT argument is family-agnostic: the cluster should persist.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_survives_every_family() {
+        let opts = RunOptions {
+            scale: 0.08,
+            out_dir: None,
+            seed: 33,
+        };
+        let rows = run(&opts).unwrap();
+        assert_eq!(rows.len(), 3);
+        for f in &rows {
+            assert!(
+                f.sigma_lateness > 0.85,
+                "{:?}: σ~L = {}",
+                f.kind,
+                f.sigma_lateness
+            );
+            assert!(
+                f.sigma_absprob > 0.85,
+                "{:?}: σ~A = {}",
+                f.kind,
+                f.sigma_absprob
+            );
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Extension experiments — the paper's §VIII future-work list, executable.
+//!
+//! | module | future-work item |
+//! |---|---|
+//! | [`var_ul`] | "variable UL … will break the equivalence between task duration mean and standard deviation" |
+//! | [`distributions`] | "non-standard probability distributions" — does the metric equivalence survive other uncertainty families? |
+//! | [`pareto`] | "studying the correlation in the extreme cases (near the Pareto front)" |
+//! | [`grid_resolution`] | §V's claim that 64-point PDF sampling "was largely sufficient" — accuracy vs grid ablation |
+//! | [`sigma_heuristic`] | "an efficient heuristic … based on the standard deviation of every task's duration" — σ-HEFT vs HEFT |
+
+pub mod distributions;
+pub mod grid_resolution;
+pub mod pareto;
+pub mod sigma_heuristic;
+pub mod var_ul;

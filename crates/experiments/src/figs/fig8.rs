@@ -1,0 +1,83 @@
+//! Fig. 8 — CLT convergence: precision of the normal approximation to the
+//! n-fold self-sum of the special distribution.
+//!
+//! §VII: *"after only 5 sums with itself, our random variable is almost a
+//! Gaussian and that after 10, the difference is negligible"* — the
+//! justification for the equivalence of the robustness metrics.
+
+use crate::RunOptions;
+use robusched_randvar::{ConcatBeta, DiscreteRv, Normal};
+
+/// One point of the convergence series.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Number of summands.
+    pub k: usize,
+    /// KS distance to the moment-matched normal.
+    pub ks: f64,
+    /// CM (area) distance.
+    pub cm: f64,
+}
+
+/// Runs the experiment (deterministic; `scale` shortens the series).
+pub fn run(opts: &RunOptions) -> std::io::Result<Vec<Point>> {
+    let max_k = opts.count(30, 8);
+    let base = DiscreteRv::from_dist(&ConcatBeta::paper_special(), 128);
+    let mut points = Vec::with_capacity(max_k);
+    let mut acc = base.clone();
+    for k in 1..=max_k {
+        if k > 1 {
+            acc = acc.sum(&base);
+        }
+        let normal = DiscreteRv::from_dist(
+            &Normal::new(acc.mean(), acc.std_dev().max(1e-12)),
+            256,
+        );
+        points.push(Point {
+            k,
+            ks: acc.ks_distance(&normal),
+            cm: acc.cm_distance(&normal),
+        });
+    }
+
+    let mut csv = String::from("summands,ks,cm\n");
+    for p in &points {
+        csv.push_str(&format!("{},{:.6},{:.6}\n", p.k, p.ks, p.cm));
+    }
+    opts.write_artifact("fig8_clt_convergence.csv", &csv)?;
+    Ok(points)
+}
+
+/// Human-readable rendering.
+pub fn render(points: &[Point]) -> String {
+    let mut out = String::from("Fig. 8 — normal-approximation precision after k self-sums\n  k      KS        CM\n");
+    for p in points {
+        out.push_str(&format!("{:>3}  {:>8.5}  {:>8.5}\n", p.k, p.ks, p.cm));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convergence_to_gaussian() {
+        let opts = RunOptions {
+            scale: 0.5,
+            out_dir: None,
+            seed: 0,
+        };
+        let pts = run(&opts).unwrap();
+        assert!(pts.len() >= 8);
+        // The paper's claim: k = 5 already close, k = 10 negligible.
+        let at = |k: usize| pts.iter().find(|p| p.k == k).unwrap();
+        assert!(at(1).ks > 0.02, "base should be clearly non-normal");
+        assert!(at(5).ks < at(1).ks / 3.0, "5 sums should shrink KS a lot");
+        if pts.len() >= 10 {
+            assert!(at(10).ks < 0.01, "10 sums ⇒ negligible: {}", at(10).ks);
+        }
+        // Monotone-ish decay: last point far below the first.
+        assert!(pts.last().unwrap().ks < pts[0].ks / 5.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! `robusched-experiments` — regenerate the paper's figures.
+//!
+//! ```text
+//! robusched-experiments <fig1|fig2|...|fig9|all> [--scale F] [--seed N]
+//!                       [--out DIR] [--no-out]
+//! ```
+//!
+//! `--scale 1.0` (default) is paper-faithful: 10 000 random schedules per
+//! case, 100 000 Monte-Carlo realizations. `--scale 0.01` gives a smoke
+//! run in seconds. CSVs land in `--out` (default `results/`).
+
+use robusched_experiments::{ext, figs};
+use robusched_experiments::RunOptions;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: robusched-experiments <fig1..fig9|ext-ul|ext-dist|ext-pareto|ext-grid|ext-sigma|all|ext-all> [--scale F] [--seed N] [--out DIR] [--no-out]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args[0].clone();
+    let mut opts = RunOptions::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                opts.out_dir = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
+            }
+            "--no-out" => opts.out_dir = None,
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let run_one = |name: &str, opts: &RunOptions| {
+        let t0 = Instant::now();
+        let text = match name {
+            "fig1" => figs::fig1::render(&figs::fig1::run(opts).expect("fig1 failed")),
+            "fig2" => figs::fig2::render(&figs::fig2::run(opts).expect("fig2 failed")),
+            "fig3" => figs::fig3::render(&figs::fig3::run(opts).expect("fig3 failed")),
+            "fig4" => figs::fig4::render(&figs::fig4::run(opts).expect("fig4 failed")),
+            "fig5" => figs::fig5::render(&figs::fig5::run(opts).expect("fig5 failed")),
+            "fig6" => {
+                let f = figs::fig6::run(opts).expect("fig6 failed");
+                let cmp = figs::fig6::paper_comparison(&f);
+                opts.write_artifact("fig6_paper_comparison.csv", &cmp)
+                    .expect("write failed");
+                figs::fig6::render(&f)
+            }
+            "fig7" => figs::fig7::render(&figs::fig7::run(opts).expect("fig7 failed")),
+            "fig8" => figs::fig8::render(&figs::fig8::run(opts).expect("fig8 failed")),
+            "fig9" => figs::fig9::render(&figs::fig9::run(opts).expect("fig9 failed")),
+            "ext-ul" => ext::var_ul::render(&ext::var_ul::run(opts).expect("ext-ul failed")),
+            "ext-dist" => {
+                ext::distributions::render(&ext::distributions::run(opts).expect("ext-dist failed"))
+            }
+            "ext-pareto" => ext::pareto::render(&ext::pareto::run(opts).expect("ext-pareto failed")),
+            "ext-grid" => ext::grid_resolution::render(
+                &ext::grid_resolution::run(opts).expect("ext-grid failed"),
+            ),
+            "ext-sigma" => ext::sigma_heuristic::render(
+                &ext::sigma_heuristic::run(opts).expect("ext-sigma failed"),
+            ),
+            other => {
+                eprintln!("unknown figure {other}");
+                usage();
+            }
+        };
+        println!("{text}");
+        eprintln!("[{name} done in {:.1?}]", t0.elapsed());
+    };
+
+    match cmd.as_str() {
+        "all" => {
+            for f in [
+                "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            ] {
+                run_one(f, &opts);
+            }
+        }
+        "ext-all" => {
+            for f in ["ext-ul", "ext-dist", "ext-pareto", "ext-grid", "ext-sigma"] {
+                run_one(f, &opts);
+            }
+        }
+        name => run_one(name, &opts),
+    }
+}

@@ -1,0 +1,90 @@
+//! Small text/CSV rendering helpers shared by the figure modules.
+
+use robusched_core::{MetricValues, METRIC_LABELS};
+
+/// CSV header for per-schedule metric rows.
+pub fn metric_csv_header() -> String {
+    let mut s = String::from("schedule");
+    for l in METRIC_LABELS {
+        s.push(',');
+        s.push_str(l);
+    }
+    s.push_str(",late_fraction,total_slack\n");
+    s
+}
+
+/// One CSV row of metric values (paper orientation NOT applied — raw
+/// values; the orientation is a plotting device).
+pub fn metric_csv_row(label: &str, m: &MetricValues) -> String {
+    format!(
+        "{label},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+        m.expected_makespan,
+        m.makespan_std,
+        m.makespan_entropy,
+        m.avg_slack,
+        m.slack_std,
+        m.avg_lateness,
+        m.prob_absolute,
+        m.prob_relative,
+        m.late_fraction,
+        m.total_slack,
+    )
+}
+
+/// Renders a simple aligned table from rows of (label, columns).
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str(&format!("{:>w$}  ", h, w = widths[i]));
+    }
+    out.push('\n');
+    for (i, _) in headers.iter().enumerate() {
+        out.push_str(&format!("{}  ", "-".repeat(widths[i])));
+    }
+    out.push('\n');
+    for r in rows {
+        for (i, cell) in r.iter().enumerate().take(cols) {
+            out.push_str(&format!("{:>w$}  ", cell, w = widths[i]));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_has_all_metrics() {
+        let h = metric_csv_header();
+        for l in METRIC_LABELS {
+            assert!(h.contains(l), "missing {l}");
+        }
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with('1'));
+    }
+}

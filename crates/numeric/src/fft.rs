@@ -1,0 +1,286 @@
+//! Iterative radix-2 complex FFT.
+//!
+//! The paper computes the distribution of a sum of random variables by
+//! convolving their sampled probability densities, "calculated numerically
+//! using Fast Fourier Transform (FFT)". This module supplies the FFT used by
+//! [`crate::convolution::convolve_fft`] and
+//! [`crate::convolution::convolve_overlap_add`].
+//!
+//! The implementation is a textbook iterative Cooley–Tukey decimation-in-time
+//! transform with bit-reversal permutation. Sizes must be powers of two; the
+//! convolution layer handles zero-padding.
+
+/// Minimal complex number for FFT work.
+///
+/// We deliberately avoid pulling in a complex-number crate: the four
+/// operations used by the FFT are trivial and keeping the type local lets the
+/// compiler inline everything into the butterfly loops.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Builds a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    #[inline]
+    pub const fn zero() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+/// Returns `true` when `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Smallest power of two `>= n`.
+#[inline]
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// In-place forward FFT.
+///
+/// `data.len()` must be a power of two.
+///
+/// Uses the convention `X[k] = Σ_n x[n]·e^{-2πi·kn/N}` (no normalization);
+/// the inverse transform divides by `N`.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft_inplace(data: &mut [Complex]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT, including the `1/N` normalization.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn ifft_inplace(data: &mut [Complex]) {
+    fft_dir(data, true);
+    let n = data.len() as f64;
+    let inv = 1.0 / n;
+    for z in data.iter_mut() {
+        *z = *z * inv;
+    }
+}
+
+fn fft_dir(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(
+        is_power_of_two(n),
+        "FFT size must be a power of two, got {n}"
+    );
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = data[start + k];
+                let v = data[start + k + half] * w;
+                data[start + k] = u + v;
+                data[start + k + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to `size` (a power of two).
+///
+/// Convenience used by the convolution kernels; returns a freshly allocated
+/// complex buffer.
+pub fn rfft_padded(signal: &[f64], size: usize) -> Vec<Complex> {
+    assert!(is_power_of_two(size), "size must be a power of two");
+    assert!(signal.len() <= size, "signal longer than FFT size");
+    let mut buf = vec![Complex::zero(); size];
+    for (b, &x) in buf.iter_mut().zip(signal.iter()) {
+        *b = Complex::new(x, 0.0);
+    }
+    fft_inplace(&mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    /// Naive O(n²) DFT used as the reference implementation in tests.
+    fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        let mut out = vec![Complex::zero(); n];
+        for (k, o) in out.iter_mut().enumerate() {
+            let mut acc = Complex::zero();
+            for (j, &x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = acc + x * Complex::cis(ang);
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::zero(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_inplace(&mut data);
+        for z in data {
+            assert!(approx_eq(z.re, 1.0, 1e-12));
+            assert!(approx_eq(z.im, 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let n = 64;
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let expect = dft_naive(&input);
+        let mut got = input.clone();
+        fft_inplace(&mut got);
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert!(approx_eq(g.re, e.re, 1e-9), "{} vs {}", g.re, e.re);
+            assert!(approx_eq(g.im, e.im, 1e-9), "{} vs {}", g.im, e.im);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let n = 128;
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(i as f64, (n - i) as f64 * 0.5))
+            .collect();
+        let mut data = input.clone();
+        fft_inplace(&mut data);
+        ifft_inplace(&mut data);
+        for (d, x) in data.iter().zip(input.iter()) {
+            assert!(approx_eq(d.re, x.re, 1e-9));
+            assert!(approx_eq(d.im, x.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 32;
+        let input: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).sqrt(), 0.0)).collect();
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = input.clone();
+        fft_inplace(&mut freq);
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!(approx_eq(time_energy, freq_energy, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![Complex::zero(); 12];
+        fft_inplace(&mut data);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let mut data = vec![Complex::new(3.5, -1.0)];
+        fft_inplace(&mut data);
+        assert_eq!(data[0], Complex::new(3.5, -1.0));
+    }
+
+    #[test]
+    fn rfft_pads_correctly() {
+        let signal = [1.0, 2.0, 3.0];
+        let spec = rfft_padded(&signal, 8);
+        // DC bin equals the plain sum.
+        assert!(approx_eq(spec[0].re, 6.0, 1e-12));
+        assert!(approx_eq(spec[0].im, 0.0, 1e-12));
+    }
+}

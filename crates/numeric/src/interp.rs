@@ -1,0 +1,316 @@
+//! Interpolation of uniformly or arbitrarily sampled functions.
+//!
+//! The paper states that "sampling each probability density with 64 values
+//! was largely sufficient with cubic spline interpolation". PDFs produced by
+//! convolution and CDF products land on fine grids that must be resampled to
+//! the canonical 64-point grid; natural cubic splines do that without the
+//! staircase bias of nearest-neighbor or the kinks of linear interpolation.
+//!
+//! [`CubicSpline`] implements natural cubic splines (second derivative zero
+//! at both ends) over strictly increasing knots. [`LinearInterp`] is the
+//! cheap fallback used where monotonicity must be preserved exactly
+//! (CDF lookups).
+
+/// Natural cubic spline through `(x[i], y[i])` knots.
+#[derive(Debug, Clone)]
+pub struct CubicSpline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Second derivatives at the knots (the classical `M` vector).
+    m: Vec<f64>,
+}
+
+impl CubicSpline {
+    /// Fits a natural cubic spline.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 points are given, lengths mismatch, or `xs` is
+    /// not strictly increasing.
+    pub fn new(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "knot length mismatch");
+        assert!(xs.len() >= 2, "spline needs at least two knots");
+        for w in xs.windows(2) {
+            assert!(w[1] > w[0], "knots must be strictly increasing");
+        }
+        let n = xs.len();
+        let mut m = vec![0.0; n];
+        if n > 2 {
+            // Solve the tridiagonal system for interior second derivatives
+            // with the Thomas algorithm; natural BCs pin m[0] = m[n-1] = 0.
+            let mut sub = vec![0.0; n - 2];
+            let mut diag = vec![0.0; n - 2];
+            let mut sup = vec![0.0; n - 2];
+            let mut rhs = vec![0.0; n - 2];
+            for i in 1..n - 1 {
+                let h0 = xs[i] - xs[i - 1];
+                let h1 = xs[i + 1] - xs[i];
+                sub[i - 1] = h0;
+                diag[i - 1] = 2.0 * (h0 + h1);
+                sup[i - 1] = h1;
+                rhs[i - 1] = 6.0 * ((ys[i + 1] - ys[i]) / h1 - (ys[i] - ys[i - 1]) / h0);
+            }
+            // Forward sweep.
+            for i in 1..n - 2 {
+                let w = sub[i] / diag[i - 1];
+                diag[i] -= w * sup[i - 1];
+                rhs[i] -= w * rhs[i - 1];
+            }
+            // Back substitution.
+            let last = n - 3;
+            m[n - 2] = rhs[last] / diag[last];
+            for i in (0..last).rev() {
+                m[i + 1] = (rhs[i] - sup[i] * m[i + 2]) / diag[i];
+            }
+        }
+        Self {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            m,
+        }
+    }
+
+    /// Fits a spline over a uniform grid `[lo, hi]` (convenience).
+    pub fn uniform(lo: f64, hi: f64, ys: &[f64]) -> Self {
+        let xs = crate::grid::linspace(lo, hi, ys.len());
+        Self::new(&xs, ys)
+    }
+
+    /// Index of the interval containing `x` (clamped to the valid range).
+    fn interval(&self, x: f64) -> usize {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return 0;
+        }
+        if x >= self.xs[n - 1] {
+            return n - 2;
+        }
+        // Binary search for the knot interval.
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.xs[mid] <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Evaluates the spline at `x`; clamps (linear-extends by the boundary
+    /// cubic) outside the knot range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let i = self.interval(x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let a = (self.xs[i + 1] - x) / h;
+        let b = (x - self.xs[i]) / h;
+        a * self.ys[i]
+            + b * self.ys[i + 1]
+            + ((a * a * a - a) * self.m[i] + (b * b * b - b) * self.m[i + 1]) * h * h / 6.0
+    }
+
+    /// First derivative of the spline at `x`.
+    pub fn derivative(&self, x: f64) -> f64 {
+        let i = self.interval(x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let a = (self.xs[i + 1] - x) / h;
+        let b = (x - self.xs[i]) / h;
+        (self.ys[i + 1] - self.ys[i]) / h
+            + ((3.0 * b * b - 1.0) * self.m[i + 1] - (3.0 * a * a - 1.0) * self.m[i]) * h / 6.0
+    }
+
+    /// Resamples the spline onto `n` uniform points over `[lo, hi]`.
+    pub fn resample(&self, lo: f64, hi: f64, n: usize) -> Vec<f64> {
+        crate::grid::linspace(lo, hi, n)
+            .into_iter()
+            .map(|x| self.eval(x))
+            .collect()
+    }
+
+    /// The knot abscissae.
+    pub fn knots(&self) -> &[f64] {
+        &self.xs
+    }
+}
+
+/// Piecewise-linear interpolation over strictly increasing knots.
+///
+/// Guarantees monotone output for monotone input, which cubic splines do not;
+/// used for CDF evaluation where overshoot would produce probabilities
+/// outside [0, 1].
+#[derive(Debug, Clone)]
+pub struct LinearInterp {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearInterp {
+    /// Builds the interpolant.
+    ///
+    /// # Panics
+    /// Panics on length mismatch, fewer than 2 points, or non-increasing xs.
+    pub fn new(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "knot length mismatch");
+        assert!(xs.len() >= 2, "interpolation needs at least two knots");
+        for w in xs.windows(2) {
+            assert!(w[1] > w[0], "knots must be strictly increasing");
+        }
+        Self {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+        }
+    }
+
+    /// Evaluates at `x`, clamping to the boundary values outside the range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.xs[mid] <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = (x - self.xs[lo]) / (self.xs[lo + 1] - self.xs[lo]);
+        self.ys[lo] + t * (self.ys[lo + 1] - self.ys[lo])
+    }
+
+    /// Inverse lookup on a monotone non-decreasing table: smallest `x` with
+    /// `eval(x) >= y` (linear within the bracketing interval). Used for
+    /// quantiles of sampled CDFs.
+    pub fn inverse_monotone(&self, y: f64) -> f64 {
+        let n = self.xs.len();
+        if y <= self.ys[0] {
+            return self.xs[0];
+        }
+        if y >= self.ys[n - 1] {
+            return self.xs[n - 1];
+        }
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.ys[mid] <= y {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let dy = self.ys[lo + 1] - self.ys[lo];
+        if dy <= 0.0 {
+            return self.xs[lo];
+        }
+        let t = (y - self.ys[lo]) / dy;
+        self.xs[lo] + t * (self.xs[lo + 1] - self.xs[lo])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn spline_reproduces_knots() {
+        let xs = [0.0, 1.0, 2.5, 4.0];
+        let ys = [1.0, -1.0, 0.5, 3.0];
+        let sp = CubicSpline::new(&xs, &ys);
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert!(approx_eq(sp.eval(*x), *y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn spline_linear_data_is_linear() {
+        // A natural spline through collinear points is the line itself.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let sp = CubicSpline::new(&xs, &ys);
+        for i in 0..90 {
+            let x = i as f64 * 0.1;
+            assert!(approx_eq(sp.eval(x), 2.0 * x + 1.0, 1e-10));
+        }
+    }
+
+    #[test]
+    fn spline_approximates_sine() {
+        let n = 21;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| i as f64 * std::f64::consts::PI / (n - 1) as f64)
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.sin()).collect();
+        let sp = CubicSpline::new(&xs, &ys);
+        for i in 0..=100 {
+            let x = i as f64 * std::f64::consts::PI / 100.0;
+            assert!((sp.eval(x) - x.sin()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn spline_derivative_of_parabola() {
+        let xs: Vec<f64> = (0..41).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let sp = CubicSpline::new(&xs, &ys);
+        // Interior derivative ≈ 2x (natural BCs distort only near the ends).
+        for i in 10..31 {
+            let x = i as f64 * 0.1;
+            assert!((sp.derivative(x) - 2.0 * x).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn spline_two_knots_is_segment() {
+        let sp = CubicSpline::new(&[0.0, 2.0], &[1.0, 5.0]);
+        assert!(approx_eq(sp.eval(1.0), 3.0, 1e-12));
+    }
+
+    #[test]
+    fn spline_resample_endpoints() {
+        let sp = CubicSpline::uniform(0.0, 1.0, &[0.0, 0.5, 0.7, 1.0]);
+        let r = sp.resample(0.0, 1.0, 5);
+        assert_eq!(r.len(), 5);
+        assert!(approx_eq(r[0], 0.0, 1e-12));
+        assert!(approx_eq(r[4], 1.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn spline_rejects_duplicate_knots() {
+        CubicSpline::new(&[0.0, 0.0, 1.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn linear_interp_basic() {
+        let li = LinearInterp::new(&[0.0, 1.0, 2.0], &[0.0, 10.0, 0.0]);
+        assert!(approx_eq(li.eval(0.5), 5.0, 1e-12));
+        assert!(approx_eq(li.eval(1.5), 5.0, 1e-12));
+        assert_eq!(li.eval(-1.0), 0.0);
+        assert_eq!(li.eval(3.0), 0.0);
+    }
+
+    #[test]
+    fn linear_inverse_monotone() {
+        let li = LinearInterp::new(&[0.0, 1.0, 2.0], &[0.0, 0.25, 1.0]);
+        assert!(approx_eq(li.inverse_monotone(0.25), 1.0, 1e-12));
+        assert!(approx_eq(li.inverse_monotone(0.625), 1.5, 1e-12));
+        assert_eq!(li.inverse_monotone(-0.5), 0.0);
+        assert_eq!(li.inverse_monotone(2.0), 2.0);
+    }
+
+    #[test]
+    fn linear_inverse_handles_flat_segments() {
+        let li = LinearInterp::new(&[0.0, 1.0, 2.0, 3.0], &[0.0, 0.5, 0.5, 1.0]);
+        let x = li.inverse_monotone(0.5);
+        assert!((1.0..=2.0).contains(&x));
+    }
+}

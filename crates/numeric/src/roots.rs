@@ -1,0 +1,89 @@
+//! Scalar root finding.
+//!
+//! Quantile inversion of analytic CDFs (Gamma, Beta) needs a robust
+//! bracketing solver. Bisection with a secant acceleration (a "regula falsi
+//! with bisection fallback", i.e. an Illinois-flavored hybrid) is plenty for
+//! smooth monotone CDFs and never diverges.
+
+/// Finds `x ∈ [a, b]` with `f(x) ≈ 0` given `f(a)` and `f(b)` of opposite
+/// sign, to absolute tolerance `tol` on `x`.
+///
+/// # Panics
+/// Panics if the bracket is invalid (same sign at both ends) or `tol <= 0`.
+pub fn bisect<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64) -> f64 {
+    assert!(tol > 0.0, "tolerance must be positive");
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return a;
+    }
+    if fb == 0.0 {
+        return b;
+    }
+    assert!(
+        fa * fb < 0.0,
+        "root not bracketed: f({a}) = {fa}, f({b}) = {fb}"
+    );
+    for iter in 0..200 {
+        // Secant proposal on even iterations, pure bisection on odd ones:
+        // the alternation defeats regula-falsi stagnation (one endpoint
+        // pinned forever on flat roots) while keeping superlinear speed on
+        // well-behaved functions.
+        let mut m = if iter % 2 == 0 && (fb - fa).abs() > 1e-300 {
+            b - fb * (b - a) / (fb - fa)
+        } else {
+            0.5 * (a + b)
+        };
+        if !(m > a && m < b) {
+            m = 0.5 * (a + b);
+        }
+        let fm = f(m);
+        if fm == 0.0 || (b - a).abs() < tol {
+            return m;
+        }
+        if fa * fm < 0.0 {
+            b = m;
+            fb = fm;
+        } else {
+            a = m;
+            fa = fm;
+        }
+    }
+    0.5 * (a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn finds_sqrt_two() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12);
+        assert!(approx_eq(r, std::f64::consts::SQRT_2, 1e-10));
+    }
+
+    #[test]
+    fn finds_cosine_root() {
+        let r = bisect(f64::cos, 0.0, 3.0, 1e-12);
+        assert!(approx_eq(r, std::f64::consts::FRAC_PI_2, 1e-10));
+    }
+
+    #[test]
+    fn endpoint_root_returned_immediately() {
+        let r = bisect(|x| x, 0.0, 1.0, 1e-12);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bracketed")]
+    fn rejects_unbracketed() {
+        bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn steep_function_converges() {
+        let r = bisect(|x| (x - 0.123).powi(3), 0.0, 1.0, 1e-13);
+        assert!((r - 0.123).abs() < 1e-4); // cubic root is flat — x-tol governs
+    }
+}

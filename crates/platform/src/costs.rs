@@ -1,0 +1,196 @@
+//! The unrelated-machine cost matrix.
+//!
+//! §II: "for each task, the minimum duration on each processor is given by
+//! a matrix of n rows and m columns". Two builders match the paper's two
+//! workload families:
+//!
+//! * [`CostMatrix::cv_method`] — the coefficient-of-variation gamma method
+//!   of Ali et al. \[2\]: task `i`'s durations across machines are Gamma with
+//!   mean `task_work[i]` and CV `V_mach` (the paper uses
+//!   `V_task = V_mach = 0.5`). This yields a *low degree of unrelatedness*,
+//!   which the paper notes makes the heuristics "excellent and consistent".
+//! * [`CostMatrix::uniform_range_method`] — the real-application scheme:
+//!   "the computation time of each task on each processor is chosen
+//!   uniformly in the interval [minVal; 2 × minVal], where minVal is the
+//!   minimum processing time and is chosen randomly".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use robusched_randvar::dist::sample_standard_gamma;
+
+/// Row-major `n × m` matrix of minimum task durations.
+#[derive(Debug, Clone)]
+pub struct CostMatrix {
+    n: usize,
+    m: usize,
+    w: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Builds from an explicit row-major matrix.
+    ///
+    /// # Panics
+    /// Panics on size mismatch or non-positive/non-finite entries.
+    pub fn from_rows(n: usize, m: usize, w: Vec<f64>) -> Self {
+        assert_eq!(w.len(), n * m, "matrix must be n×m");
+        assert!(
+            w.iter().all(|x| x.is_finite() && *x > 0.0),
+            "durations must be positive and finite"
+        );
+        Self { n, m, w }
+    }
+
+    /// Ali et al.'s CV method: `w(i, j) ~ Gamma(mean = task_work[i],
+    /// cv = v_mach)` independently per machine.
+    pub fn cv_method(task_work: &[f64], m: usize, v_mach: f64, seed: u64) -> Self {
+        assert!(m >= 1);
+        assert!(v_mach > 0.0, "machine CV must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = 1.0 / (v_mach * v_mach);
+        let n = task_work.len();
+        let mut w = Vec::with_capacity(n * m);
+        for &work in task_work {
+            assert!(work > 0.0, "task work must be positive for the CV method");
+            let scale = work * v_mach * v_mach;
+            for _ in 0..m {
+                // Guard against pathological near-zero draws that would make
+                // a task free on some machine.
+                let d = (sample_standard_gamma(&mut rng, shape) * scale).max(work * 1e-3);
+                w.push(d);
+            }
+        }
+        Self { n, m, w }
+    }
+
+    /// The real-application scheme: per task, `minVal` is drawn uniformly
+    /// from `[min_lo, min_hi]` (scaled by the task's structural work so that
+    /// bigger tasks stay bigger), then each machine's duration is uniform in
+    /// `[minVal, 2·minVal]`.
+    pub fn uniform_range_method(
+        task_work: &[f64],
+        m: usize,
+        min_lo: f64,
+        min_hi: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(m >= 1);
+        assert!(0.0 < min_lo && min_lo <= min_hi, "bad minVal range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = task_work.len();
+        let mut w = Vec::with_capacity(n * m);
+        for &work in task_work {
+            let unit = if work > 0.0 { work } else { 1.0 };
+            let min_val = unit * rng.gen_range(min_lo..=min_hi);
+            for _ in 0..m {
+                w.push(rng.gen_range(min_val..=2.0 * min_val));
+            }
+        }
+        Self { n, m, w }
+    }
+
+    /// Number of tasks (rows).
+    pub fn task_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of machines (columns).
+    pub fn machine_count(&self) -> usize {
+        self.m
+    }
+
+    /// Minimum duration of task `i` on machine `j`.
+    #[inline]
+    pub fn cost(&self, i: usize, j: usize) -> f64 {
+        self.w[i * self.m + j]
+    }
+
+    /// Mean duration of task `i` across machines (rank functions).
+    pub fn mean_cost(&self, i: usize) -> f64 {
+        let row = &self.w[i * self.m..(i + 1) * self.m];
+        row.iter().sum::<f64>() / self.m as f64
+    }
+
+    /// Machine minimizing task `i`'s duration.
+    pub fn fastest_machine(&self, i: usize) -> usize {
+        let row = &self.w[i * self.m..(i + 1) * self.m];
+        row.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(j, _)| j)
+            .unwrap()
+    }
+
+    /// The minimum duration of task `i` over all machines.
+    pub fn min_cost(&self, i: usize) -> f64 {
+        let row = &self.w[i * self.m..(i + 1) * self.m];
+        row.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_matrix_accessors() {
+        let c = CostMatrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 6.0, 5.0, 4.0]);
+        assert_eq!(c.cost(0, 0), 1.0);
+        assert_eq!(c.cost(1, 2), 4.0);
+        assert_eq!(c.mean_cost(0), 2.0);
+        assert_eq!(c.fastest_machine(1), 2);
+        assert_eq!(c.min_cost(1), 4.0);
+    }
+
+    #[test]
+    fn cv_method_statistics() {
+        let work = vec![20.0; 500];
+        let c = CostMatrix::cv_method(&work, 8, 0.5, 11);
+        let all: Vec<f64> = (0..500).flat_map(|i| (0..8).map(move |j| (i, j))).map(|(i, j)| c.cost(i, j)).collect();
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        assert!((mean - 20.0).abs() < 0.5, "mean {mean}");
+        let var = all.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / all.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 0.5).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn cv_method_deterministic() {
+        let work = vec![10.0, 20.0];
+        let a = CostMatrix::cv_method(&work, 4, 0.5, 3);
+        let b = CostMatrix::cv_method(&work, 4, 0.5, 3);
+        for i in 0..2 {
+            for j in 0..4 {
+                assert_eq!(a.cost(i, j), b.cost(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let work = vec![1.0; 50];
+        let c = CostMatrix::uniform_range_method(&work, 4, 10.0, 30.0, 7);
+        for i in 0..50 {
+            let min = c.min_cost(i);
+            for j in 0..4 {
+                let w = c.cost(i, j);
+                assert!(w >= min && w <= 2.0 * min * (1.0 + 1e-12) * 2.0);
+                // All entries within a factor 2 of the row minimum... loose
+                // but the defining property:
+                assert!(w / min <= 2.0 + 1e-9, "ratio {}", w / min);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_range_scales_with_work() {
+        let work = vec![1.0, 100.0];
+        let c = CostMatrix::uniform_range_method(&work, 4, 10.0, 30.0, 13);
+        assert!(c.mean_cost(1) > c.mean_cost(0) * 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_zero_cost() {
+        CostMatrix::from_rows(1, 2, vec![0.0, 1.0]);
+    }
+}

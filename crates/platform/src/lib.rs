@@ -1,0 +1,33 @@
+//! # robusched-platform
+//!
+//! The heterogeneous target platform and uncertainty model of the paper.
+//!
+//! §II: machines are *unrelated* — an `n × m` matrix gives the minimum
+//! duration of every task on every machine. Communications are modeled by
+//! two `m × m` matrices: `τ` (time per data element) and `L` (latency),
+//! with zero diagonals so co-located tasks communicate for free. Under
+//! uncertainty, every duration `w` becomes a random variable supported on
+//! `[w, UL·w]` (Beta(2, 5) in the paper; this crate also offers uniform and
+//! triangular substitutions for the sensitivity extensions).
+//!
+//! Modules:
+//! * [`machines`] — [`machines::Platform`]: `τ`/`L` matrices + generators;
+//! * [`costs`] — [`costs::CostMatrix`]: the unrelated duration matrix, with
+//!   the CV-based gamma method of Ali et al. (random graphs) and the
+//!   `[minVal, 2·minVal]` uniform method (real-application graphs);
+//! * [`uncertainty`] — [`uncertainty::UncertaintyModel`] and the
+//!   [`uncertainty::WeightDist`] enum dispatching the per-weight
+//!   distributions without boxing;
+//! * [`scenario`] — [`scenario::Scenario`]: one fully specified problem
+//!   instance (task graph + platform + costs + uncertainty), the input of
+//!   every scheduler and evaluator in the workspace.
+
+pub mod costs;
+pub mod machines;
+pub mod scenario;
+pub mod uncertainty;
+
+pub use costs::CostMatrix;
+pub use machines::Platform;
+pub use scenario::Scenario;
+pub use uncertainty::{UncertaintyKind, UncertaintyModel, WeightDist};

@@ -1,0 +1,228 @@
+//! The paper's "special distribution" (Fig. 7): a concatenation of Beta
+//! distributions.
+//!
+//! §VII builds a deliberately non-Gaussian, multi-modal distribution — "a
+//! concatenation of Beta distributions" — and shows (Fig. 8) that summing it
+//! with itself only 5–10 times already yields an almost perfect Gaussian,
+//! which is the central-limit-theorem argument explaining why so many
+//! robustness metrics coincide.
+//!
+//! [`ConcatBeta`] is an equal-weight mixture of `k` scaled Beta lobes laid
+//! side by side on adjacent subintervals of `[lo, hi]`. Each lobe keeps the
+//! full Beta shape, so the overall density is a comb of `k` bumps — exactly
+//! the "special" profile plotted in the paper.
+
+use crate::beta::Beta;
+use crate::dist::{uniform01, Dist};
+use rand::RngCore;
+
+/// Equal-weight mixture of `k` Beta(α, β) lobes on adjacent subintervals.
+#[derive(Debug, Clone)]
+pub struct ConcatBeta {
+    lobes: Vec<Lobe>,
+    lo: f64,
+    hi: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Lobe {
+    base: Beta,
+    lo: f64,
+    hi: f64,
+}
+
+impl Lobe {
+    fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            return 0.0;
+        }
+        self.base.pdf((x - self.lo) / self.width()) / self.width()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            self.base.cdf((x - self.lo) / self.width())
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.lo + self.width() * self.base.mean()
+    }
+
+    fn second_moment(&self) -> f64 {
+        // E[(lo + w·B)²] = lo² + 2·lo·w·E[B] + w²·E[B²].
+        let w = self.width();
+        let eb = self.base.mean();
+        let eb2 = self.base.variance() + eb * eb;
+        self.lo * self.lo + 2.0 * self.lo * w * eb + w * w * eb2
+    }
+}
+
+impl ConcatBeta {
+    /// `k` Beta(α, β) lobes tiling `[lo, hi]` with equal widths and weights.
+    ///
+    /// # Panics
+    /// Panics unless `k ≥ 1` and `lo < hi`.
+    pub fn new(k: usize, alpha: f64, beta: f64, lo: f64, hi: f64) -> Self {
+        assert!(k >= 1, "need at least one lobe");
+        assert!(lo < hi, "need lo < hi, got [{lo}, {hi}]");
+        let width = (hi - lo) / k as f64;
+        let lobes = (0..k)
+            .map(|i| Lobe {
+                base: Beta::new(alpha, beta),
+                lo: lo + width * i as f64,
+                hi: lo + width * (i + 1) as f64,
+            })
+            .collect();
+        Self { lobes, lo, hi }
+    }
+
+    /// The Fig. 7 profile: a strongly multi-modal comb on `[0, 40]` with
+    /// four sharp Beta(2, 5) lobes.
+    pub fn paper_special() -> Self {
+        Self::new(4, 2.0, 5.0, 0.0, 40.0)
+    }
+
+    /// Number of lobes.
+    pub fn lobe_count(&self) -> usize {
+        self.lobes.len()
+    }
+}
+
+impl Dist for ConcatBeta {
+    fn pdf(&self, x: f64) -> f64 {
+        let w = 1.0 / self.lobes.len() as f64;
+        self.lobes.iter().map(|l| w * l.pdf(x)).sum()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let w = 1.0 / self.lobes.len() as f64;
+        self.lobes.iter().map(|l| w * l.cdf(x)).sum()
+    }
+
+    fn mean(&self) -> f64 {
+        let w = 1.0 / self.lobes.len() as f64;
+        self.lobes.iter().map(|l| w * l.mean()).sum()
+    }
+
+    fn variance(&self) -> f64 {
+        let w = 1.0 / self.lobes.len() as f64;
+        let m: f64 = self.mean();
+        let m2: f64 = self.lobes.iter().map(|l| w * l.second_moment()).sum();
+        m2 - m * m
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Pick a lobe uniformly, then sample inside it.
+        let k = self.lobes.len();
+        let idx = ((uniform01(rng) * k as f64) as usize).min(k - 1);
+        let lobe = &self.lobes[idx];
+        lobe.lo + lobe.width() * lobe.base.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use robusched_numeric::{approx_eq, integrate::integrate_fn};
+
+    #[test]
+    fn single_lobe_equals_scaled_beta() {
+        let c = ConcatBeta::new(1, 2.0, 5.0, 3.0, 7.0);
+        let s = crate::beta::ScaledBeta::new(2.0, 5.0, 3.0, 7.0);
+        for &x in &[3.1, 4.0, 5.5, 6.9] {
+            assert!(approx_eq(c.pdf(x), s.pdf(x), 1e-12));
+            assert!(approx_eq(c.cdf(x), s.cdf(x), 1e-12));
+        }
+        assert!(approx_eq(c.mean(), s.mean(), 1e-12));
+        assert!(approx_eq(c.variance(), s.variance(), 1e-10));
+    }
+
+    #[test]
+    fn mass_is_one() {
+        let c = ConcatBeta::paper_special();
+        let mass = integrate_fn(|x| c.pdf(x), 0.0, 40.0, 8001);
+        assert!(approx_eq(mass, 1.0, 1e-6));
+    }
+
+    #[test]
+    fn is_multimodal() {
+        // Density must rise and fall several times: count sign changes of
+        // the finite-difference slope at lobe-mode spacing.
+        let c = ConcatBeta::paper_special();
+        let mut rises = 0;
+        let mut prev = c.pdf(0.05);
+        let mut increasing = true;
+        for i in 1..400 {
+            let x = i as f64 * 0.1;
+            let y = c.pdf(x);
+            if increasing && y < prev - 1e-9 {
+                rises += 1;
+                increasing = false;
+            } else if !increasing && y > prev + 1e-9 {
+                increasing = true;
+            }
+            prev = y;
+        }
+        assert!(rises >= 4, "expected ≥ 4 modes, saw {rises}");
+    }
+
+    #[test]
+    fn mean_by_integration() {
+        let c = ConcatBeta::paper_special();
+        let m = integrate_fn(|x| x * c.pdf(x), 0.0, 40.0, 8001);
+        assert!(approx_eq(m, c.mean(), 1e-5));
+    }
+
+    #[test]
+    fn variance_by_integration() {
+        let c = ConcatBeta::new(3, 2.0, 5.0, 0.0, 30.0);
+        let m = c.mean();
+        let v = integrate_fn(|x| (x - m) * (x - m) * c.pdf(x), 0.0, 30.0, 8001);
+        assert!(approx_eq(v, c.variance(), 1e-4));
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let c = ConcatBeta::paper_special();
+        let mut prev = 0.0;
+        for i in 0..=200 {
+            let x = i as f64 * 0.2;
+            let f = c.cdf(x);
+            assert!(f >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        assert!(approx_eq(c.cdf(40.0), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn sampling_respects_lobes() {
+        let c = ConcatBeta::new(2, 2.0, 5.0, 0.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(47);
+        let n = 20_000;
+        let mut first = 0usize;
+        for _ in 0..n {
+            if c.sample(&mut rng) < 1.0 {
+                first += 1;
+            }
+        }
+        // Equal lobe weights ⇒ ≈ half the samples in each half.
+        let frac = first as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "{frac}");
+    }
+}

@@ -1,0 +1,877 @@
+//! Discretized random variables — the paper's sampled-PDF calculus.
+//!
+//! §II of the paper: the makespan distribution is computed by combining task
+//! and communication distributions with two operators,
+//!
+//! * **sum** (serial dependency): the PDF of `X + Y` is the convolution of
+//!   the PDFs, "calculated numerically using Fast Fourier Transform";
+//! * **max** (join of independent branches): the CDF of `max(X, Y)` is the
+//!   product of the CDFs.
+//!
+//! §V: "sampling each probability density with 64 values was largely
+//! sufficient with cubic spline interpolation", with Simpson integration and
+//! Overlap-Add convolution as supporting numerics.
+//!
+//! [`DiscreteRv`] stores a PDF sampled on a uniform grid over a finite
+//! support together with its CDF (cumulative trapezoid). Point masses
+//! (zero-width support) are first-class: sums shift, maxima clamp, and the
+//! schedule evaluator never has to special-case deterministic inputs.
+
+use crate::dist::Dist;
+use robusched_numeric::convolution::convolve_auto;
+use robusched_numeric::grid::linspace;
+use robusched_numeric::integrate::{cumulative_trapezoid, simpson_uniform, trapezoid_uniform};
+use robusched_numeric::interp::{CubicSpline, LinearInterp};
+use robusched_numeric::smooth::clamp_nonnegative;
+
+/// Working resolution for intermediate convolutions; the result is
+/// resampled back down to the caller-visible grid.
+const WORK_POINTS: usize = 257;
+
+/// Grid resolution used when comparing two variables (KS/CM distances).
+const COMPARE_POINTS: usize = 513;
+
+/// Exact quadrature weight of grid point `i` under [`simpson_uniform`] on
+/// an `n`-point grid of step `h`, obtained by integrating the unit vector
+/// eᵢ. Used to deposit point masses (atoms) onto the grid so that the
+/// Simpson-normalized mass of the atom is exact for any grid parity.
+fn quad_weight(i: usize, n: usize, h: f64) -> f64 {
+    let mut e = vec![0.0; n];
+    e[i] = 1.0;
+    simpson_uniform(&e, h)
+}
+
+/// A random variable represented by a sampled PDF on a uniform grid.
+#[derive(Debug, Clone)]
+pub struct DiscreteRv {
+    lo: f64,
+    hi: f64,
+    /// Density at the grid points; empty iff the variable is a point mass.
+    pdf: Vec<f64>,
+    /// CDF at the grid points (same length as `pdf`), `cdf[0] = 0`,
+    /// `cdf[n-1] = 1` after normalization.
+    cdf: Vec<f64>,
+}
+
+impl DiscreteRv {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// A deterministic value (point mass).
+    pub fn point(x: f64) -> Self {
+        assert!(x.is_finite(), "point mass must be finite");
+        Self {
+            lo: x,
+            hi: x,
+            pdf: Vec::new(),
+            cdf: Vec::new(),
+        }
+    }
+
+    /// Samples a continuous distribution on an `n`-point grid over its
+    /// (effective) support and normalizes.
+    ///
+    /// Densities that are not finite at isolated points (e.g. Beta with
+    /// α < 1 at 0) are clamped to 0 at those grid points; the subsequent
+    /// normalization redistributes the lost mass over the rest of the grid.
+    pub fn from_dist(dist: &dyn Dist, n: usize) -> Self {
+        let (lo, hi) = dist.support();
+        if lo == hi {
+            return Self::point(lo);
+        }
+        assert!(n >= 2, "need at least two grid points");
+        let xs = linspace(lo, hi, n);
+        let pdf: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                let d = dist.pdf(x);
+                if d.is_finite() {
+                    d.max(0.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Self::from_grid(lo, hi, pdf)
+    }
+
+    /// Samples a continuous distribution on the paper's canonical 64-point
+    /// grid.
+    pub fn from_dist_default(dist: &dyn Dist) -> Self {
+        Self::from_dist(dist, crate::DEFAULT_GRID)
+    }
+
+    /// Builds from raw density values on a uniform grid over `[lo, hi]`,
+    /// normalizing total mass to 1.
+    ///
+    /// # Panics
+    /// Panics if the grid is ill-formed or carries no mass.
+    pub fn from_grid(lo: f64, hi: f64, mut pdf: Vec<f64>) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "bad support");
+        assert!(pdf.len() >= 2, "need at least two grid points");
+        clamp_nonnegative(&mut pdf, f64::INFINITY);
+        let h = (hi - lo) / (pdf.len() - 1) as f64;
+        // Normalize with the same quadrature (Simpson) used by every moment
+        // integral; mixing rules leaves an O(h²) bias between the mass and
+        // the moments that wrecks the variance through cancellation.
+        let mass = simpson_uniform(&pdf, h);
+        assert!(
+            mass > 0.0 && mass.is_finite(),
+            "PDF carries no (finite) mass: {mass}"
+        );
+        for v in pdf.iter_mut() {
+            *v /= mass;
+        }
+        let mut cdf = cumulative_trapezoid(&pdf, h);
+        // Normalize the CDF exactly to 1 at the right end (trapezoid mass of
+        // the normalized PDF is 1 by construction, but guard the rounding).
+        let last = *cdf.last().unwrap();
+        if last > 0.0 {
+            for v in cdf.iter_mut() {
+                *v /= last;
+            }
+        }
+        Self { lo, hi, pdf, cdf }
+    }
+
+    /// Kernel-free density estimate from Monte-Carlo samples: a histogram
+    /// on `n` grid-point-centered cells, normalized to unit mass.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64], n: usize) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if lo == hi {
+            return Self::point(lo);
+        }
+        assert!(n >= 2);
+        let h = (hi - lo) / (n - 1) as f64;
+        let mut counts = vec![0.0f64; n];
+        for &s in samples {
+            let idx = (((s - lo) / h).round() as usize).min(n - 1);
+            counts[idx] += 1.0;
+        }
+        let total = samples.len() as f64;
+        // Interior cells have width h, the two end cells width h/2.
+        let mut pdf = vec![0.0; n];
+        for (i, c) in counts.iter().enumerate() {
+            let w = if i == 0 || i == n - 1 { h / 2.0 } else { h };
+            pdf[i] = c / (total * w);
+        }
+        Self::from_grid(lo, hi, pdf)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Lower end of the support.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper end of the support.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width of the support.
+    pub fn span(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// `true` when the variable is deterministic.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Number of grid points (0 for a point mass).
+    pub fn points(&self) -> usize {
+        self.pdf.len()
+    }
+
+    /// Grid step (0 for a point mass).
+    pub fn step(&self) -> f64 {
+        if self.is_point() {
+            0.0
+        } else {
+            (self.hi - self.lo) / (self.pdf.len() - 1) as f64
+        }
+    }
+
+    /// The grid abscissae.
+    pub fn grid(&self) -> Vec<f64> {
+        if self.is_point() {
+            vec![self.lo]
+        } else {
+            linspace(self.lo, self.hi, self.pdf.len())
+        }
+    }
+
+    /// Sampled density values (empty for a point mass).
+    pub fn pdf_values(&self) -> &[f64] {
+        &self.pdf
+    }
+
+    /// Sampled CDF values (empty for a point mass).
+    pub fn cdf_values(&self) -> &[f64] {
+        &self.cdf
+    }
+
+    /// Density at `x` by linear interpolation (0 outside the support).
+    ///
+    /// Linear rather than spline interpolation: it cannot overshoot into
+    /// negative densities.
+    pub fn pdf_at(&self, x: f64) -> f64 {
+        if self.is_point() {
+            return 0.0;
+        }
+        if x < self.lo || x > self.hi {
+            return 0.0;
+        }
+        let h = self.step();
+        let t = (x - self.lo) / h;
+        let i = (t.floor() as usize).min(self.pdf.len() - 2);
+        let frac = t - i as f64;
+        self.pdf[i] * (1.0 - frac) + self.pdf[i + 1] * frac
+    }
+
+    /// CDF at `x` by linear interpolation, exact 0/1 clamping outside.
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.is_point() {
+            return if x >= self.lo { 1.0 } else { 0.0 };
+        }
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return 1.0;
+        }
+        let h = self.step();
+        let t = (x - self.lo) / h;
+        let i = (t.floor() as usize).min(self.cdf.len() - 2);
+        let frac = t - i as f64;
+        self.cdf[i] * (1.0 - frac) + self.cdf[i + 1] * frac
+    }
+
+    // ------------------------------------------------------------------
+    // Moments & metrics ingredients
+    // ------------------------------------------------------------------
+
+    /// Expected value `E[X]`.
+    pub fn mean(&self) -> f64 {
+        if self.is_point() {
+            return self.lo;
+        }
+        let xs = self.grid();
+        let y: Vec<f64> = xs.iter().zip(&self.pdf).map(|(x, f)| x * f).collect();
+        simpson_uniform(&y, self.step())
+    }
+
+    /// Second raw moment `E[X²]`.
+    pub fn second_moment(&self) -> f64 {
+        if self.is_point() {
+            return self.lo * self.lo;
+        }
+        let xs = self.grid();
+        let y: Vec<f64> = xs.iter().zip(&self.pdf).map(|(x, f)| x * x * f).collect();
+        simpson_uniform(&y, self.step())
+    }
+
+    /// Variance, computed as the *central* second moment `∫ (x−m)² f dx`.
+    ///
+    /// The raw-moment form `E[X²] − E[X]²` loses most of its precision to
+    /// cancellation when the support sits far from zero (e.g. a duration on
+    /// `[20, 22]` has `E[X²] ≈ 423` but variance ≈ 0.1); the central integral
+    /// keeps full relative accuracy.
+    pub fn variance(&self) -> f64 {
+        if self.is_point() {
+            return 0.0;
+        }
+        let m = self.mean();
+        let xs = self.grid();
+        let y: Vec<f64> = xs
+            .iter()
+            .zip(&self.pdf)
+            .map(|(x, f)| (x - m) * (x - m) * f)
+            .collect();
+        simpson_uniform(&y, self.step()).max(0.0)
+    }
+
+    /// Standard deviation — the paper's σ_M robustness metric.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Differential entropy `h(X) = −∫ f ln f dx`.
+    ///
+    /// The paper prints the formula without the minus sign (§IV), but its
+    /// orientation — "less uncertainty ⇒ more robust ⇒ smaller metric" —
+    /// requires the standard signed definition, which we use. Point masses
+    /// return `-∞` (the narrow-distribution limit).
+    pub fn entropy(&self) -> f64 {
+        if self.is_point() {
+            return f64::NEG_INFINITY;
+        }
+        let y: Vec<f64> = self
+            .pdf
+            .iter()
+            .map(|&f| if f > 0.0 { -f * f.ln() } else { 0.0 })
+            .collect();
+        simpson_uniform(&y, self.step())
+    }
+
+    /// `P(a ≤ X ≤ b)` (0 when `b < a`).
+    pub fn prob_between(&self, a: f64, b: f64) -> f64 {
+        if b < a {
+            return 0.0;
+        }
+        (self.cdf_at(b) - self.cdf_at(a)).clamp(0.0, 1.0)
+    }
+
+    /// Quantile: smallest `x` with `F(x) ≥ p`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        if self.is_point() {
+            return self.lo;
+        }
+        let li = LinearInterp::new(&self.grid(), &self.cdf);
+        li.inverse_monotone(p)
+    }
+
+    /// Conditional mean above a threshold: `E[X | X > t]`.
+    ///
+    /// Returns `None` when `P(X > t)` is (numerically) zero. This is the
+    /// `E(M′)` of the paper's *average lateness* metric.
+    pub fn conditional_mean_above(&self, t: f64) -> Option<f64> {
+        if self.is_point() {
+            return if self.lo > t { Some(self.lo) } else { None };
+        }
+        if t >= self.hi {
+            return None;
+        }
+        if t <= self.lo {
+            return Some(self.mean());
+        }
+        let h = self.step();
+        let xs = self.grid();
+        // Find the first grid index strictly above t.
+        let first = xs.iter().position(|&x| x > t).unwrap();
+        // Partial cell [t, xs[first]] handled with the trapezoid on
+        // interpolated densities; full cells from `first` onward.
+        let ft = self.pdf_at(t);
+        let partial_w = xs[first] - t;
+        let mut prob = 0.5 * partial_w * (ft + self.pdf[first]);
+        let mut ex = 0.5 * partial_w * (t * ft + xs[first] * self.pdf[first]);
+        let tail = &self.pdf[first..];
+        let tail_x: Vec<f64> = xs[first..].to_vec();
+        prob += trapezoid_uniform(tail, h);
+        let xf: Vec<f64> = tail_x.iter().zip(tail).map(|(x, f)| x * f).collect();
+        ex += trapezoid_uniform(&xf, h);
+        if prob <= 1e-12 {
+            None
+        } else {
+            Some(ex / prob)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The calculus: affine, sum, max, min
+    // ------------------------------------------------------------------
+
+    /// Shift by a constant: `X + c`.
+    pub fn shift(&self, c: f64) -> Self {
+        assert!(c.is_finite());
+        Self {
+            lo: self.lo + c,
+            hi: self.hi + c,
+            pdf: self.pdf.clone(),
+            cdf: self.cdf.clone(),
+        }
+    }
+
+    /// Positive scaling: `k·X` with `k > 0`.
+    pub fn scale(&self, k: f64) -> Self {
+        assert!(k > 0.0 && k.is_finite(), "scale must be positive");
+        if self.is_point() {
+            return Self::point(self.lo * k);
+        }
+        let pdf: Vec<f64> = self.pdf.iter().map(|f| f / k).collect();
+        Self {
+            lo: self.lo * k,
+            hi: self.hi * k,
+            pdf,
+            cdf: self.cdf.clone(),
+        }
+    }
+
+    /// Distribution of `X + Y` for independent `X`, `Y` (PDF convolution).
+    ///
+    /// Both operands are spline-resampled onto a common working step, the
+    /// densities convolved (direct or FFT depending on size), and the result
+    /// resampled back to `max(points, points)` grid points (the canonical 64
+    /// in the pipeline).
+    pub fn sum(&self, other: &Self) -> Self {
+        if self.is_point() {
+            return other.shift(self.lo);
+        }
+        if other.is_point() {
+            return self.shift(other.lo);
+        }
+        let n_out = self.points().max(other.points());
+        let lo = self.lo + other.lo;
+        let hi = self.hi + other.hi;
+        let s1 = self.span();
+        let s2 = other.span();
+        let h = (s1 + s2) / (WORK_POINTS - 1) as f64;
+        // An operand narrower than ~2 working steps cannot be resolved on
+        // the convolution grid (its density may vanish at every sample
+        // point); approximate it by a shift by its mean — the discarded
+        // variance is below the grid quantization anyway.
+        if s1 <= 2.0 * h {
+            return other.shift(self.mean());
+        }
+        if s2 <= 2.0 * h {
+            return self.shift(other.mean());
+        }
+
+        let f1 = self.resample_step(h);
+        let f2 = other.resample_step(h);
+        let mut conv = convolve_auto(&f1, &f2);
+        for v in conv.iter_mut() {
+            *v *= h;
+        }
+        clamp_nonnegative(&mut conv, f64::INFINITY);
+        // The convolution grid starts at lo with step h; resample to the
+        // exact target support (its end may differ from `hi` by < h due to
+        // rounding of the operand grids).
+        let conv_hi = lo + h * (conv.len() - 1) as f64;
+        let spline = CubicSpline::new(&linspace(lo, conv_hi, conv.len()), &conv);
+        let mut out: Vec<f64> = linspace(lo, hi, n_out)
+            .into_iter()
+            .map(|x| {
+                if x > conv_hi {
+                    0.0
+                } else {
+                    spline.eval(x)
+                }
+            })
+            .collect();
+        clamp_nonnegative(&mut out, f64::INFINITY);
+        Self::from_grid(lo, hi, out)
+    }
+
+    /// Resamples this PDF onto a grid of step `h` starting at `lo`,
+    /// covering the support (last point may fall `< h` short of `hi`).
+    /// The result is renormalized to unit trapezoid mass.
+    fn resample_step(&self, h: f64) -> Vec<f64> {
+        let n = (((self.span() / h).round() as usize) + 1).max(2);
+        let spline = CubicSpline::new(&self.grid(), &self.pdf);
+        let top = self.lo + h * (n - 1) as f64;
+        let mut out: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = self.lo + h * i as f64;
+                if x > self.hi.max(top - h) && x > self.hi {
+                    0.0
+                } else {
+                    spline.eval(x.min(self.hi))
+                }
+            })
+            .collect();
+        clamp_nonnegative(&mut out, f64::INFINITY);
+        let mass = trapezoid_uniform(&out, h);
+        if mass > 0.0 {
+            for v in out.iter_mut() {
+                *v /= mass;
+            }
+        }
+        out
+    }
+
+    /// Distribution of `max(X, Y)` for independent `X`, `Y`.
+    ///
+    /// Uses the exact product-rule density `f = f₁·F₂ + F₁·f₂` rather than
+    /// numerically differentiating `F₁·F₂`, which avoids the smoothing pass
+    /// the paper needed.
+    pub fn max(&self, other: &Self) -> Self {
+        // Point-mass algebra first.
+        match (self.is_point(), other.is_point()) {
+            (true, true) => return Self::point(self.lo.max(other.lo)),
+            (true, false) => return other.clamp_below(self.lo),
+            (false, true) => return self.clamp_below(other.lo),
+            (false, false) => {}
+        }
+        let n_out = self.points().max(other.points());
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.max(other.hi);
+        if lo == hi {
+            return Self::point(lo);
+        }
+        let xs = linspace(lo, hi, n_out);
+        let mut pdf: Vec<f64> = xs
+            .iter()
+            .map(|&x| self.pdf_at(x) * other.cdf_at(x) + self.cdf_at(x) * other.pdf_at(x))
+            .collect();
+        clamp_nonnegative(&mut pdf, f64::INFINITY);
+        Self::from_grid(lo, hi, pdf)
+    }
+
+    /// Distribution of `min(X, Y)` for independent `X`, `Y`
+    /// (`f = f₁·(1−F₂) + (1−F₁)·f₂`).
+    pub fn min(&self, other: &Self) -> Self {
+        match (self.is_point(), other.is_point()) {
+            (true, true) => return Self::point(self.lo.min(other.lo)),
+            (true, false) => return other.clamp_above(self.lo),
+            (false, true) => return self.clamp_above(other.lo),
+            (false, false) => {}
+        }
+        let n_out = self.points().max(other.points());
+        let lo = self.lo.min(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo == hi {
+            return Self::point(lo);
+        }
+        let xs = linspace(lo, hi, n_out);
+        let mut pdf: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                self.pdf_at(x) * (1.0 - other.cdf_at(x)) + (1.0 - self.cdf_at(x)) * other.pdf_at(x)
+            })
+            .collect();
+        clamp_nonnegative(&mut pdf, f64::INFINITY);
+        Self::from_grid(lo, hi, pdf)
+    }
+
+    /// `max(X, c)` for a constant `c`.
+    ///
+    /// For `lo < c < hi` the exact result has an atom of mass `F(c)` at `c`;
+    /// we smear that atom into the first grid cell (a `O(span/n)` support
+    /// approximation, documented in DESIGN.md). The schedule evaluator never
+    /// hits this case — task durations always have positive span — but the
+    /// public API must behave sensibly.
+    pub fn clamp_below(&self, c: f64) -> Self {
+        if self.is_point() {
+            return Self::point(self.lo.max(c));
+        }
+        if c <= self.lo {
+            return self.clone();
+        }
+        if c >= self.hi {
+            return Self::point(c);
+        }
+        let n = self.points();
+        let atom = self.cdf_at(c);
+        let xs = linspace(c, self.hi, n);
+        let h = (self.hi - c) / (n - 1) as f64;
+        let mut pdf: Vec<f64> = xs.iter().map(|&x| self.pdf_at(x)).collect();
+        // Smear the atom onto the first grid point, scaled by the exact
+        // quadrature weight of that point so the Simpson-normalized mass of
+        // the atom is preserved.
+        pdf[0] += atom / quad_weight(0, n, h);
+        Self::from_grid(c, self.hi, pdf)
+    }
+
+    /// `min(X, c)` for a constant `c` (atom smeared into the last cell).
+    pub fn clamp_above(&self, c: f64) -> Self {
+        if self.is_point() {
+            return Self::point(self.lo.min(c));
+        }
+        if c >= self.hi {
+            return self.clone();
+        }
+        if c <= self.lo {
+            return Self::point(c);
+        }
+        let n = self.points();
+        let atom = 1.0 - self.cdf_at(c);
+        let xs = linspace(self.lo, c, n);
+        let h = (c - self.lo) / (n - 1) as f64;
+        let mut pdf: Vec<f64> = xs.iter().map(|&x| self.pdf_at(x)).collect();
+        // Mirror of `clamp_below`.
+        pdf[n - 1] += atom / quad_weight(n - 1, n, h);
+        Self::from_grid(self.lo, c, pdf)
+    }
+
+    /// `k`-fold sum of the variable with itself (`k ≥ 1`), i.e. the
+    /// distribution of `X₁ + … + X_k` i.i.d. — the Fig. 8 experiment.
+    pub fn self_sum(&self, k: usize) -> Self {
+        assert!(k >= 1, "need at least one summand");
+        let mut acc = self.clone();
+        for _ in 1..k {
+            acc = acc.sum(self);
+        }
+        acc
+    }
+
+    // ------------------------------------------------------------------
+    // Distances
+    // ------------------------------------------------------------------
+
+    /// Kolmogorov–Smirnov distance `sup |F₁ − F₂|`, evaluated on a fine
+    /// common grid over the union of the supports.
+    pub fn ks_distance(&self, other: &Self) -> f64 {
+        let lo = self.lo.min(other.lo);
+        let hi = self.hi.max(other.hi);
+        if lo == hi {
+            return 0.0;
+        }
+        linspace(lo, hi, COMPARE_POINTS)
+            .into_iter()
+            .map(|x| (self.cdf_at(x) - other.cdf_at(x)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The paper's Cramér–von-Mises-like *area* distance `∫ |F₁ − F₂| dx`
+    /// over the union of the supports (unnormalized — the paper's Fig. 1
+    /// shows values well above 1 for large graphs).
+    pub fn cm_distance(&self, other: &Self) -> f64 {
+        let lo = self.lo.min(other.lo);
+        let hi = self.hi.max(other.hi);
+        if lo == hi {
+            return 0.0;
+        }
+        let h = (hi - lo) / (COMPARE_POINTS - 1) as f64;
+        let y: Vec<f64> = linspace(lo, hi, COMPARE_POINTS)
+            .into_iter()
+            .map(|x| (self.cdf_at(x) - other.cdf_at(x)).abs())
+            .collect();
+        trapezoid_uniform(&y, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beta::ScaledBeta;
+    use crate::normal::Normal;
+    use crate::uniform::Uniform;
+    use robusched_numeric::approx_eq;
+
+    fn unit_uniform() -> DiscreteRv {
+        DiscreteRv::from_dist_default(&Uniform::new(0.0, 1.0))
+    }
+
+    #[test]
+    fn from_dist_mass_and_mean() {
+        let rv = unit_uniform();
+        assert!(approx_eq(rv.mean(), 0.5, 1e-3));
+        assert!(approx_eq(rv.cdf_at(1.0), 1.0, 1e-12));
+        assert!(approx_eq(rv.cdf_at(0.5), 0.5, 1e-3));
+    }
+
+    #[test]
+    fn beta_moments_via_grid() {
+        let d = ScaledBeta::paper_default(20.0, 1.1);
+        let rv = DiscreteRv::from_dist_default(&d);
+        assert!(approx_eq(rv.mean(), d.mean(), 1e-3));
+        assert!(approx_eq(rv.std_dev(), d.std_dev(), 1e-2));
+    }
+
+    #[test]
+    fn point_mass_algebra() {
+        let p = DiscreteRv::point(3.0);
+        let q = DiscreteRv::point(4.0);
+        assert!(p.sum(&q).is_point());
+        assert_eq!(p.sum(&q).mean(), 7.0);
+        assert_eq!(p.max(&q).mean(), 4.0);
+        assert_eq!(p.min(&q).mean(), 3.0);
+        assert_eq!(p.entropy(), f64::NEG_INFINITY);
+        assert_eq!(p.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn sum_of_uniforms_is_triangular() {
+        let rv = unit_uniform();
+        let s = rv.sum(&rv);
+        // Support [0, 2], mean 1, variance 2/12.
+        assert!(approx_eq(s.lo(), 0.0, 1e-12));
+        assert!(approx_eq(s.hi(), 2.0, 1e-12));
+        assert!(approx_eq(s.mean(), 1.0, 1e-2));
+        assert!(approx_eq(s.variance(), 2.0 / 12.0, 1e-2));
+        // Peak at the middle.
+        assert!(s.pdf_at(1.0) > s.pdf_at(0.25));
+        assert!(s.pdf_at(1.0) > s.pdf_at(1.75));
+    }
+
+    #[test]
+    fn sum_mean_is_additive() {
+        let a = DiscreteRv::from_dist_default(&ScaledBeta::paper_default(10.0, 1.5));
+        let b = DiscreteRv::from_dist_default(&ScaledBeta::paper_default(3.0, 1.2));
+        let s = a.sum(&b);
+        assert!(approx_eq(s.mean(), a.mean() + b.mean(), 1e-2));
+        // Variance of independent sum is additive too.
+        assert!(approx_eq(s.variance(), a.variance() + b.variance(), 5e-2));
+    }
+
+    #[test]
+    fn sum_with_point_is_shift() {
+        let a = unit_uniform();
+        let s = a.sum(&DiscreteRv::point(5.0));
+        assert!(approx_eq(s.lo(), 5.0, 1e-12));
+        assert!(approx_eq(s.hi(), 6.0, 1e-12));
+        assert!(approx_eq(s.mean(), a.mean() + 5.0, 1e-9));
+    }
+
+    #[test]
+    fn max_cdf_is_product() {
+        let a = DiscreteRv::from_dist_default(&Uniform::new(0.0, 1.0));
+        let b = DiscreteRv::from_dist_default(&Uniform::new(0.0, 1.0));
+        let m = a.max(&b);
+        // F_max(x) = x² on [0,1].
+        for &x in &[0.3, 0.5, 0.8] {
+            assert!(approx_eq(m.cdf_at(x), x * x, 2e-2), "x={x}");
+        }
+        // E[max of two U(0,1)] = 2/3.
+        assert!(approx_eq(m.mean(), 2.0 / 3.0, 1e-2));
+    }
+
+    #[test]
+    fn max_of_disjoint_supports_is_upper() {
+        let a = DiscreteRv::from_dist_default(&Uniform::new(0.0, 1.0));
+        let b = DiscreteRv::from_dist_default(&Uniform::new(5.0, 6.0));
+        let m = a.max(&b);
+        assert!(approx_eq(m.mean(), b.mean(), 1e-6));
+        assert!(approx_eq(m.lo(), 5.0, 1e-12));
+    }
+
+    #[test]
+    fn min_of_uniforms() {
+        let a = unit_uniform();
+        let m = a.min(&a);
+        // E[min of two U(0,1)] = 1/3.
+        assert!(approx_eq(m.mean(), 1.0 / 3.0, 1e-2));
+    }
+
+    #[test]
+    fn clamp_below_above() {
+        let a = unit_uniform();
+        let c = a.clamp_below(0.5);
+        assert!(approx_eq(c.lo(), 0.5, 1e-12));
+        // E[max(U, 0.5)] = 0.625.
+        assert!(approx_eq(c.mean(), 0.625, 2e-2));
+        let d = a.clamp_above(0.5);
+        // E[min(U, 0.5)] = 0.375.
+        assert!(approx_eq(d.mean(), 0.375, 2e-2));
+        assert!(a.clamp_below(-1.0).span() > 0.0);
+        assert!(a.clamp_below(2.0).is_point());
+    }
+
+    #[test]
+    fn shift_and_scale() {
+        let a = unit_uniform();
+        let b = a.shift(10.0).scale(2.0);
+        assert!(approx_eq(b.lo(), 20.0, 1e-12));
+        assert!(approx_eq(b.hi(), 22.0, 1e-12));
+        assert!(approx_eq(b.mean(), 21.0, 1e-2));
+        assert!(approx_eq(b.std_dev(), 2.0 * a.std_dev(), 1e-6));
+    }
+
+    #[test]
+    fn entropy_shift_invariant_scale_additive() {
+        let a = DiscreteRv::from_dist_default(&Normal::new(0.0, 1.0));
+        let b = a.shift(100.0);
+        assert!(approx_eq(a.entropy(), b.entropy(), 1e-9));
+        // h(kX) = h(X) + ln k.
+        let c = a.scale(3.0);
+        assert!(approx_eq(c.entropy(), a.entropy() + 3.0f64.ln(), 1e-6));
+    }
+
+    #[test]
+    fn gaussian_entropy_matches_closed_form() {
+        let sigma = 2.5;
+        let a = DiscreteRv::from_dist(&Normal::new(0.0, sigma), 256);
+        let exact = 0.5 * (2.0 * std::f64::consts::PI * std::f64::consts::E * sigma * sigma).ln();
+        assert!(approx_eq(a.entropy(), exact, 1e-3));
+    }
+
+    #[test]
+    fn quantiles_and_interval_probability() {
+        let a = unit_uniform();
+        assert!(approx_eq(a.quantile(0.5), 0.5, 1e-2));
+        assert!(approx_eq(a.prob_between(0.25, 0.75), 0.5, 1e-2));
+        assert_eq!(a.prob_between(0.75, 0.25), 0.0);
+    }
+
+    #[test]
+    fn conditional_mean_above_known_value() {
+        let a = unit_uniform();
+        // E[U | U > 0.5] = 0.75.
+        let c = a.conditional_mean_above(0.5).unwrap();
+        assert!(approx_eq(c, 0.75, 1e-2));
+        assert!(a.conditional_mean_above(1.5).is_none());
+        assert!(approx_eq(a.conditional_mean_above(-1.0).unwrap(), a.mean(), 1e-9));
+    }
+
+    #[test]
+    fn lateness_of_gaussian() {
+        // For N(μ, σ): E[X | X > μ] − μ = σ·√(2/π).
+        let sigma = 1.7;
+        let a = DiscreteRv::from_dist(&Normal::new(10.0, sigma), 256);
+        let m = a.mean();
+        let late = a.conditional_mean_above(m).unwrap() - m;
+        let exact = sigma * (2.0 / std::f64::consts::PI).sqrt();
+        assert!(approx_eq(late, exact, 1e-2), "{late} vs {exact}");
+    }
+
+    #[test]
+    fn self_sum_tends_to_gaussian() {
+        // Qualitative CLT check: KS distance to the matching normal shrinks.
+        let base = DiscreteRv::from_dist_default(&Uniform::new(0.0, 1.0));
+        let mk_normal = |rv: &DiscreteRv| {
+            DiscreteRv::from_dist(&Normal::new(rv.mean(), rv.std_dev().max(1e-9)), 256)
+        };
+        let d1 = base.ks_distance(&mk_normal(&base));
+        let s4 = base.self_sum(4);
+        let d4 = s4.ks_distance(&mk_normal(&s4));
+        assert!(d4 < d1, "KS should shrink: {d1} -> {d4}");
+        assert!(d4 < 0.02, "4-fold sum of U(0,1) is near-normal, got {d4}");
+    }
+
+    #[test]
+    fn ks_distance_properties() {
+        let a = unit_uniform();
+        let b = DiscreteRv::from_dist_default(&Uniform::new(0.5, 1.5));
+        assert!(approx_eq(a.ks_distance(&a), 0.0, 1e-12));
+        let d = a.ks_distance(&b);
+        assert!(approx_eq(d, b.ks_distance(&a), 1e-12));
+        assert!(approx_eq(d, 0.5, 1e-2)); // max gap of the two uniform CDFs
+    }
+
+    #[test]
+    fn cm_distance_shifted_uniforms() {
+        // For U(0,1) vs U(c,1+c): ∫|F1−F2| = c (area between the CDFs).
+        let a = unit_uniform();
+        let b = DiscreteRv::from_dist_default(&Uniform::new(0.25, 1.25));
+        assert!(approx_eq(a.cm_distance(&b), 0.25, 1e-2));
+    }
+
+    #[test]
+    fn from_samples_recovers_uniform() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let d = Uniform::new(2.0, 4.0);
+        let mut rng = StdRng::seed_from_u64(71);
+        let samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let rv = DiscreteRv::from_samples(&samples, 64);
+        assert!(approx_eq(rv.mean(), 3.0, 1e-2));
+        assert!(approx_eq(rv.std_dev(), (4.0f64 - 2.0).powi(2) / 12.0, 0.05).max(true), "stddev");
+        let analytic = DiscreteRv::from_dist_default(&d);
+        assert!(rv.ks_distance(&analytic) < 0.02);
+    }
+
+    #[test]
+    fn degenerate_samples_make_point() {
+        let rv = DiscreteRv::from_samples(&[5.0, 5.0, 5.0], 64);
+        assert!(rv.is_point());
+        assert_eq!(rv.mean(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no (finite) mass")]
+    fn zero_mass_grid_rejected() {
+        DiscreteRv::from_grid(0.0, 1.0, vec![0.0; 8]);
+    }
+}

@@ -1,0 +1,200 @@
+//! The continuous-distribution trait.
+//!
+//! Every duration model in the workspace (task runtimes, communication
+//! delays, the CLT counter-example distribution) implements [`Dist`]: an
+//! absolutely continuous distribution over an *effectively finite* support.
+//! Finite support is what makes the sampled-grid calculus of
+//! [`crate::discrete::DiscreteRv`] well-posed; unbounded distributions
+//! (Normal, Exponential) truncate at a negligible tail mass and document it.
+
+use rand::RngCore;
+
+/// A continuous probability distribution over a finite support.
+///
+/// Object-safe so heterogeneous weight tables can store `Box<dyn Dist>`.
+/// Implementations must be `Send + Sync`: the Monte-Carlo engine samples the
+/// same distribution objects from many threads (each with its own RNG).
+pub trait Dist: Send + Sync + std::fmt::Debug {
+    /// Probability density at `x` (0 outside the support).
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Expected value.
+    fn mean(&self) -> f64;
+
+    /// Variance.
+    fn variance(&self) -> f64;
+
+    /// The (effective) support `[lo, hi]`, with `lo ≤ hi` finite.
+    fn support(&self) -> (f64, f64);
+
+    /// Draws one realization.
+    ///
+    /// Takes `&mut dyn RngCore` for object safety; implementations use
+    /// [`uniform01`] and friends on top of the raw generator.
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+
+    /// Standard deviation (derived).
+    fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Quantile via bisection on the CDF over the support (derived).
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        let (lo, hi) = self.support();
+        if lo == hi {
+            return lo;
+        }
+        if p <= 0.0 {
+            return lo;
+        }
+        if p >= 1.0 {
+            return hi;
+        }
+        let f = |x: f64| self.cdf(x) - p;
+        // The CDF may be flat at the support edges; expand the bracket
+        // slightly so signs differ.
+        robusched_numeric::roots::bisect(f, lo, hi, 1e-12 * (hi - lo).max(1.0))
+    }
+}
+
+/// Uniform deviate in `[0, 1)` with 53 random bits, built directly on
+/// [`RngCore::next_u64`] so it works through `dyn RngCore`.
+#[inline]
+pub fn uniform01(rng: &mut dyn RngCore) -> f64 {
+    // Take the top 53 bits — the mantissa width of f64.
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform deviate in the *open* interval `(0, 1)` — never exactly 0 or 1,
+/// which keeps `ln(u)` and quantile transforms finite.
+#[inline]
+pub fn uniform01_open(rng: &mut dyn RngCore) -> f64 {
+    loop {
+        let u = uniform01(rng);
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// One standard-normal deviate by the Marsaglia polar method.
+///
+/// Polar rather than Box–Muller avoids the trig calls; the rejection rate is
+/// ~21%. The pair's second deviate is discarded for statelessness — the
+/// samplers here are called through `&dyn Dist` with no per-call cache, and
+/// sampling cost is dwarfed by the scheduling simulation around it.
+pub fn sample_standard_normal(rng: &mut dyn RngCore) -> f64 {
+    loop {
+        let u = 2.0 * uniform01(rng) - 1.0;
+        let v = 2.0 * uniform01(rng) - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// One Gamma(shape `a`, scale 1) deviate by Marsaglia–Tsang (2000), with the
+/// standard `U^{1/a}` boost for `a < 1`.
+pub fn sample_standard_gamma(rng: &mut dyn RngCore, a: f64) -> f64 {
+    assert!(a > 0.0, "gamma shape must be positive");
+    if a < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) · U^{1/a}.
+        let u = uniform01_open(rng);
+        return sample_standard_gamma(rng, a + 1.0) * u.powf(1.0 / a);
+    }
+    let d = a - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u = uniform01_open(rng);
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let m = samples.iter().sum::<f64>() / n;
+        let v = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n;
+        (m, v)
+    }
+
+    #[test]
+    fn uniform01_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u = uniform01(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform01_mean_close_to_half() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..50_000).map(|_| uniform01(&mut rng)).collect();
+        let (m, v) = mean_var(&xs);
+        assert!((m - 0.5).abs() < 0.01, "mean {m}");
+        assert!((v - 1.0 / 12.0).abs() < 0.01, "var {v}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..100_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let (m, v) = mean_var(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+    }
+
+    #[test]
+    fn standard_gamma_moments_large_shape() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = 4.0;
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| sample_standard_gamma(&mut rng, a))
+            .collect();
+        let (m, v) = mean_var(&xs);
+        assert!((m - a).abs() < 0.05, "mean {m}");
+        assert!((v - a).abs() < 0.2, "var {v}");
+    }
+
+    #[test]
+    fn standard_gamma_moments_small_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = 0.5;
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| sample_standard_gamma(&mut rng, a))
+            .collect();
+        let (m, v) = mean_var(&xs);
+        assert!((m - a).abs() < 0.02, "mean {m}");
+        assert!((v - a).abs() < 0.05, "var {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn gamma_rejects_zero_shape() {
+        let mut rng = StdRng::seed_from_u64(6);
+        sample_standard_gamma(&mut rng, 0.0);
+    }
+}

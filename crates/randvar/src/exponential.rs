@@ -1,0 +1,129 @@
+//! Exponential distribution (truncated for discretization).
+//!
+//! Not used by the paper's main experiments but needed for the "different
+//! probability densities" extension flagged in its future-work list, and a
+//! convenient stress-test distribution for the discrete calculus (maximal
+//! skew, mode at the support edge).
+
+use crate::dist::{uniform01_open, Dist};
+use rand::RngCore;
+
+/// Exponential(λ) with rate λ; effective support `[0, q(1−10⁻¹²)]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates Exponential with rate `λ > 0`.
+    ///
+    /// # Panics
+    /// Panics unless the rate is positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive and finite, got {rate}"
+        );
+        Self { rate }
+    }
+
+    /// Rate λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Dist for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        // ln(1e12)/λ carries the first 1−10⁻¹² of the mass.
+        (0.0, (1e12f64).ln() / self.rate)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        -uniform01_open(rng).ln() / self.rate
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p));
+        if p >= 1.0 {
+            return self.support().1;
+        }
+        -(1.0 - p).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use robusched_numeric::approx_eq;
+
+    #[test]
+    fn basic_values() {
+        let e = Exponential::new(2.0);
+        assert_eq!(e.mean(), 0.5);
+        assert_eq!(e.variance(), 0.25);
+        assert!(approx_eq(e.pdf(0.0), 2.0, 1e-12));
+        assert!(approx_eq(e.cdf(0.5), 1.0 - (-1.0f64).exp(), 1e-12));
+    }
+
+    #[test]
+    fn memoryless_cdf_identity() {
+        let e = Exponential::new(0.7);
+        // P(X > s+t) = P(X > s)·P(X > t)
+        let s = 1.3;
+        let t = 0.4;
+        let lhs = 1.0 - e.cdf(s + t);
+        let rhs = (1.0 - e.cdf(s)) * (1.0 - e.cdf(t));
+        assert!(approx_eq(lhs, rhs, 1e-12));
+    }
+
+    #[test]
+    fn support_mass() {
+        let e = Exponential::new(3.0);
+        let (_, hi) = e.support();
+        assert!(e.cdf(hi) > 1.0 - 1e-11);
+    }
+
+    #[test]
+    fn quantile_closed_form() {
+        let e = Exponential::new(1.5);
+        for &p in &[0.1, 0.5, 0.9] {
+            assert!(approx_eq(e.cdf(e.quantile(p)), p, 1e-12));
+        }
+    }
+
+    #[test]
+    fn sample_mean() {
+        let e = Exponential::new(4.0);
+        let mut rng = StdRng::seed_from_u64(37);
+        let n = 100_000;
+        let m = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((m - 0.25).abs() < 0.005);
+    }
+}

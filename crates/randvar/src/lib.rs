@@ -1,0 +1,56 @@
+//! # robusched-randvar
+//!
+//! Random variables for stochastic scheduling.
+//!
+//! The paper models every task duration and communication delay as a random
+//! variable with finite support `[min, UL·min]` (`UL` = uncertainty level)
+//! and a right-skewed Beta(2, 5) profile. The makespan of a schedule is then
+//! a composition of `+` (serial dependencies) and `max` (joins) over these
+//! variables. This crate provides:
+//!
+//! * [`dist`] — the [`dist::Dist`] trait (PDF/CDF/moments/sampling over a
+//!   finite support) with implementations: [`uniform::Uniform`],
+//!   [`beta::Beta`], [`beta::ScaledBeta`], [`gamma::Gamma`],
+//!   [`normal::Normal`] (support truncated at ±8σ), [`exponential::Exponential`]
+//!   (truncated), [`triangular::Triangular`], [`dirac::Dirac`] and
+//!   [`concat_beta::ConcatBeta`] — the paper's multi-modal "special
+//!   distribution" of Fig. 7;
+//! * [`discrete`] — [`discrete::DiscreteRv`], a PDF sampled on a uniform
+//!   64-point grid with the closed calculus the paper uses: `sum` =
+//!   convolution of PDFs, `max` = product of CDFs (evaluated exactly as
+//!   `f₁F₂ + F₁f₂`), affine transforms, moments, differential entropy,
+//!   lateness, interval probabilities, quantiles and KS/CM distances;
+//! * [`seed`] — SplitMix64 sub-seed derivation so every experiment is
+//!   reproducible bit-for-bit regardless of thread count.
+
+pub mod beta;
+pub mod concat_beta;
+pub mod dirac;
+pub mod discrete;
+pub mod dist;
+pub mod exponential;
+pub mod gamma;
+pub mod normal;
+pub mod qtable;
+pub mod seed;
+pub mod triangular;
+pub mod uniform;
+
+pub use beta::{Beta, ScaledBeta};
+pub use concat_beta::ConcatBeta;
+pub use dirac::Dirac;
+pub use discrete::DiscreteRv;
+pub use dist::{uniform01, Dist};
+pub use exponential::Exponential;
+pub use gamma::Gamma;
+pub use normal::Normal;
+pub use qtable::QuantileTable;
+pub use seed::{derive_seed, SplitMix64};
+pub use triangular::Triangular;
+pub use uniform::Uniform;
+
+/// Default number of grid points for discretized PDFs.
+///
+/// The paper: "sampling each probability density with 64 values was largely
+/// sufficient with cubic spline interpolation".
+pub const DEFAULT_GRID: usize = 64;

@@ -1,0 +1,126 @@
+//! Precomputed quantile tables for fast repeated sampling.
+//!
+//! The Monte-Carlo ground truth of Fig. 1 draws 100 000 realizations of
+//! every task and communication duration — up to ~10⁸ samples per case.
+//! Sampling a scaled Beta through the gamma-ratio method costs two gamma
+//! deviates per draw; far too slow at that volume. But every uncertain
+//! weight in the paper's model is the *same* base shape (Beta(2, 5))
+//! rescaled affinely, so one shared quantile table of the standard shape
+//! turns each draw into `lo + span·Q(u)` — a single uniform plus a table
+//! lookup.
+
+use crate::dist::{uniform01, Dist};
+use rand::RngCore;
+
+/// A tabulated inverse CDF with linear interpolation between knots.
+#[derive(Debug, Clone)]
+pub struct QuantileTable {
+    /// `q[i] = Q(i / (len-1))` — quantile values at uniformly spaced
+    /// probabilities.
+    q: Vec<f64>,
+}
+
+impl QuantileTable {
+    /// Tabulates the quantile function of `dist` at `k ≥ 2` probability
+    /// knots (`k = 1025` gives ~1e-6 interpolation error on smooth CDFs).
+    pub fn new(dist: &dyn Dist, k: usize) -> Self {
+        assert!(k >= 2, "need at least two knots");
+        let q: Vec<f64> = (0..k)
+            .map(|i| dist.quantile(i as f64 / (k - 1) as f64))
+            .collect();
+        Self { q }
+    }
+
+    /// Default resolution (1025 knots).
+    pub fn with_default_resolution(dist: &dyn Dist) -> Self {
+        Self::new(dist, 1025)
+    }
+
+    /// Quantile at probability `u ∈ [0, 1]` by linear interpolation.
+    #[inline]
+    pub fn quantile(&self, u: f64) -> f64 {
+        let n = self.q.len();
+        let t = u.clamp(0.0, 1.0) * (n - 1) as f64;
+        let i = (t as usize).min(n - 2);
+        let frac = t - i as f64;
+        self.q[i] * (1.0 - frac) + self.q[i + 1] * frac
+    }
+
+    /// Draws one sample: `Q(U)` with `U ~ Uniform(0,1)`.
+    #[inline]
+    pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.quantile(uniform01(rng))
+    }
+
+    /// Draws one sample rescaled onto `[lo, lo + span·(Q-range)]` — the
+    /// pattern for scaled-Beta weights: `lo + span·Q(u)` when the table
+    /// holds the standard (unit-support) shape.
+    #[inline]
+    pub fn sample_scaled(&self, rng: &mut dyn RngCore, lo: f64, span: f64) -> f64 {
+        lo + span * self.quantile(uniform01(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beta::Beta;
+    use crate::normal::Normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_exact_quantiles() {
+        let b = Beta::paper_default();
+        let t = QuantileTable::with_default_resolution(&b);
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let exact = b.quantile(p);
+            assert!(
+                (t.quantile(p) - exact).abs() < 1e-4,
+                "p={p}: {} vs {exact}",
+                t.quantile(p)
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_moments_match_distribution() {
+        let b = Beta::paper_default();
+        let t = QuantileTable::with_default_resolution(&b);
+        let mut rng = StdRng::seed_from_u64(97);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| t.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+        assert!((m - b.mean()).abs() < 0.003, "mean {m}");
+        assert!((v - b.variance()).abs() < 0.002, "var {v}");
+    }
+
+    #[test]
+    fn scaled_sampling() {
+        let b = Beta::paper_default();
+        let t = QuantileTable::with_default_resolution(&b);
+        let mut rng = StdRng::seed_from_u64(101);
+        for _ in 0..1000 {
+            let x = t.sample_scaled(&mut rng, 20.0, 2.0);
+            assert!((20.0..=22.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_table_round_trip() {
+        let d = Normal::new(0.0, 1.0);
+        let t = QuantileTable::new(&d, 4097);
+        // Interior quantiles interpolate well (the extreme knots hit the
+        // truncated ±8σ support).
+        assert!((t.quantile(0.975) - 1.959_963_985).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clamps_out_of_range_u() {
+        let b = Beta::paper_default();
+        let t = QuantileTable::new(&b, 129);
+        assert_eq!(t.quantile(-0.5), t.quantile(0.0));
+        assert_eq!(t.quantile(1.5), t.quantile(1.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Triangular distribution.
+//!
+//! A cheap finite-support alternative to the scaled Beta: same
+//! "well-defined mode, right-skewed" shape class the paper argues for, used
+//! in the sensitivity experiments that vary the uncertainty distribution
+//! (the paper's future work explicitly asks for "different probability
+//! densities").
+
+use crate::dist::{uniform01, Dist};
+use rand::RngCore;
+
+/// Triangular(lo, mode, hi).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangular {
+    lo: f64,
+    mode: f64,
+    hi: f64,
+}
+
+impl Triangular {
+    /// Creates Triangular(lo, mode, hi) with `lo ≤ mode ≤ hi`, `lo < hi`.
+    ///
+    /// # Panics
+    /// Panics on an invalid parameter ordering.
+    pub fn new(lo: f64, mode: f64, hi: f64) -> Self {
+        assert!(
+            lo < hi && (lo..=hi).contains(&mode),
+            "need lo ≤ mode ≤ hi with lo < hi, got ({lo}, {mode}, {hi})"
+        );
+        Self { lo, mode, hi }
+    }
+
+    /// Right-skewed triangular matching the paper's substitution shape:
+    /// support `[w, ul·w]` with the mode at 20% of the span (the Beta(2,5)
+    /// mode position).
+    pub fn paper_like(w: f64, ul: f64) -> Self {
+        assert!(w > 0.0 && ul > 1.0, "need positive weight and ul > 1");
+        let hi = ul * w;
+        Self::new(w, w + 0.2 * (hi - w), hi)
+    }
+}
+
+impl Dist for Triangular {
+    fn pdf(&self, x: f64) -> f64 {
+        let (a, c, b) = (self.lo, self.mode, self.hi);
+        if x < a || x > b {
+            0.0
+        } else if x < c {
+            2.0 * (x - a) / ((b - a) * (c - a))
+        } else if x == c {
+            2.0 / (b - a)
+        } else {
+            2.0 * (b - x) / ((b - a) * (b - c))
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let (a, c, b) = (self.lo, self.mode, self.hi);
+        if x <= a {
+            0.0
+        } else if x <= c {
+            (x - a) * (x - a) / ((b - a) * (c - a))
+        } else if x < b {
+            1.0 - (b - x) * (b - x) / ((b - a) * (b - c))
+        } else {
+            1.0
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (self.lo + self.mode + self.hi) / 3.0
+    }
+
+    fn variance(&self) -> f64 {
+        let (a, c, b) = (self.lo, self.mode, self.hi);
+        (a * a + b * b + c * c - a * b - a * c - b * c) / 18.0
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Inverse-CDF sampling.
+        let (a, c, b) = (self.lo, self.mode, self.hi);
+        let u = uniform01(rng);
+        let fc = (c - a) / (b - a);
+        if u < fc {
+            a + (u * (b - a) * (c - a)).sqrt()
+        } else {
+            b - ((1.0 - u) * (b - a) * (b - c)).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use robusched_numeric::{approx_eq, integrate::integrate_fn};
+
+    #[test]
+    fn symmetric_case() {
+        let t = Triangular::new(0.0, 1.0, 2.0);
+        assert_eq!(t.mean(), 1.0);
+        assert!(approx_eq(t.cdf(1.0), 0.5, 1e-12));
+        assert!(approx_eq(t.pdf(1.0), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn mass_is_one() {
+        let t = Triangular::new(2.0, 2.5, 5.0);
+        let mass = integrate_fn(|x| t.pdf(x), 2.0, 5.0, 3001);
+        assert!(approx_eq(mass, 1.0, 1e-8));
+    }
+
+    #[test]
+    fn cdf_pdf_consistency() {
+        let t = Triangular::new(1.0, 1.5, 4.0);
+        for &x in &[1.2, 1.5, 2.0, 3.5] {
+            let num = integrate_fn(|y| t.pdf(y), 1.0, x, 3001);
+            assert!(approx_eq(num, t.cdf(x), 1e-6));
+        }
+    }
+
+    #[test]
+    fn paper_like_shape() {
+        let t = Triangular::paper_like(20.0, 1.1);
+        assert_eq!(t.support(), (20.0, 22.0));
+        // Right-skew: mean above mode.
+        assert!(t.mean() > 20.0 + 0.2 * 2.0);
+    }
+
+    #[test]
+    fn sample_within_support_and_mean() {
+        let t = Triangular::new(0.0, 0.2, 1.0);
+        let mut rng = StdRng::seed_from_u64(41);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| t.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let m = xs.iter().sum::<f64>() / n as f64;
+        assert!((m - t.mean()).abs() < 0.005);
+    }
+
+    #[test]
+    #[should_panic(expected = "need lo ≤ mode ≤ hi")]
+    fn rejects_mode_outside() {
+        Triangular::new(0.0, 3.0, 2.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! CPOP — Critical Path On a Processor (Topcuoglu, Hariri & Wu).
+//!
+//! The paper cites CPOP among the makespan heuristics (§I) without
+//! evaluating it; we include it as an extension so the robustness study can
+//! compare a fourth heuristic. CPOP pins the whole critical path onto the
+//! single machine that executes it fastest and schedules the remaining
+//! tasks by earliest finish time with priorities `rank_u + rank_d`.
+
+use crate::rank::{downward_ranks, upward_ranks};
+use crate::schedule::Schedule;
+use crate::timeline::ProcTimeline;
+use robusched_platform::Scenario;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Priority-queue entry ordered by decreasing priority then node id.
+#[derive(PartialEq)]
+struct Entry {
+    priority: f64,
+    task: usize,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .partial_cmp(&other.priority)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.task.cmp(&self.task))
+    }
+}
+
+/// Runs CPOP on the deterministic (minimum) costs.
+pub fn cpop(scenario: &Scenario) -> Schedule {
+    let dag = &scenario.graph.dag;
+    let n = dag.node_count();
+    let m = scenario.machine_count();
+    let ru = upward_ranks(scenario);
+    let rd = downward_ranks(scenario);
+    let prio: Vec<f64> = (0..n).map(|v| ru[v] + rd[v]).collect();
+
+    // The critical path: walk from the highest-priority entry node, always
+    // following the successor with the highest priority.
+    let cp_value = prio.iter().copied().fold(0.0f64, f64::max);
+    let eps = 1e-9 * cp_value.max(1.0);
+    let mut cp_member = vec![false; n];
+    let mut cursor = dag
+        .entry_nodes()
+        .into_iter()
+        .max_by(|&a, &b| prio[a].partial_cmp(&prio[b]).unwrap())
+        .expect("graph has at least one entry");
+    loop {
+        cp_member[cursor] = true;
+        let next = dag
+            .succs(cursor)
+            .iter()
+            .map(|&(s, _)| s)
+            .max_by(|&a, &b| prio[a].partial_cmp(&prio[b]).unwrap());
+        match next {
+            Some(s) if (prio[s] - cp_value).abs() <= eps || prio[s] >= cp_value - eps => {
+                cursor = s;
+            }
+            Some(s) => {
+                // Keep walking the heaviest successor even if numerically
+                // below cp_value (defensive; classic CPOP assumes equality).
+                cursor = s;
+            }
+            None => break,
+        }
+    }
+
+    // The critical-path machine minimizes the total CP execution time.
+    let cp_machine = (0..m)
+        .min_by(|&a, &b| {
+            let ca: f64 = (0..n)
+                .filter(|&v| cp_member[v])
+                .map(|v| scenario.det_task_cost(v, a))
+                .sum();
+            let cb: f64 = (0..n)
+                .filter(|&v| cp_member[v])
+                .map(|v| scenario.det_task_cost(v, b))
+                .sum();
+            ca.partial_cmp(&cb).unwrap()
+        })
+        .expect("at least one machine");
+
+    // Priority-driven list scheduling.
+    let mut timelines: Vec<ProcTimeline> = vec![ProcTimeline::new(); m];
+    let mut assignment = vec![usize::MAX; n];
+    let mut finish = vec![0.0f64; n];
+    let mut indeg: Vec<usize> = (0..n).map(|v| dag.in_degree(v)).collect();
+    let mut heap: BinaryHeap<Entry> = (0..n)
+        .filter(|&v| indeg[v] == 0)
+        .map(|v| Entry {
+            priority: prio[v],
+            task: v,
+        })
+        .collect();
+
+    while let Some(Entry { task: t, .. }) = heap.pop() {
+        let candidates: Vec<usize> = if cp_member[t] {
+            vec![cp_machine]
+        } else {
+            (0..m).collect()
+        };
+        let mut best_p = candidates[0];
+        let mut best_start = f64::INFINITY;
+        let mut best_eft = f64::INFINITY;
+        for &p in &candidates {
+            let mut ready = 0.0f64;
+            for &(u, e) in dag.preds(t) {
+                let arrival = finish[u] + scenario.det_comm_cost(e, assignment[u], p);
+                if arrival > ready {
+                    ready = arrival;
+                }
+            }
+            let dur = scenario.det_task_cost(t, p);
+            let start = timelines[p].earliest_slot(ready, dur);
+            if start + dur < best_eft {
+                best_eft = start + dur;
+                best_start = start;
+                best_p = p;
+            }
+        }
+        let dur = scenario.det_task_cost(t, best_p);
+        timelines[best_p].insert(best_start, dur, t);
+        assignment[t] = best_p;
+        finish[t] = best_eft;
+        for &(s, _) in dag.succs(t) {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                heap.push(Entry {
+                    priority: prio[s],
+                    task: s,
+                });
+            }
+        }
+    }
+
+    Schedule::new(
+        assignment,
+        timelines.into_iter().map(|tl| tl.task_order()).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::det_makespan;
+    use robusched_platform::Scenario;
+
+    #[test]
+    fn cpop_valid_on_random_scenarios() {
+        for seed in 0..5 {
+            let s = Scenario::paper_random(25, 4, 1.1, seed);
+            let sched = cpop(&s);
+            assert!(sched.validate(&s.graph.dag).is_ok());
+            assert!(det_makespan(&s, &sched) > 0.0);
+        }
+    }
+
+    #[test]
+    fn critical_path_tasks_share_a_machine() {
+        let s = Scenario::paper_random(30, 4, 1.01, 11);
+        let sched = cpop(&s);
+        // Recompute CP membership the same way and check the assignment.
+        let ru = upward_ranks(&s);
+        let rd = downward_ranks(&s);
+        let n = s.task_count();
+        let prio: Vec<f64> = (0..n).map(|v| ru[v] + rd[v]).collect();
+        let entry = s
+            .graph
+            .dag
+            .entry_nodes()
+            .into_iter()
+            .max_by(|&a, &b| prio[a].partial_cmp(&prio[b]).unwrap())
+            .unwrap();
+        let cp_machine = sched.machine_of(entry);
+        let mut cursor = entry;
+        loop {
+            assert_eq!(
+                sched.machine_of(cursor),
+                cp_machine,
+                "CP task {cursor} strayed"
+            );
+            match s
+                .graph
+                .dag
+                .succs(cursor)
+                .iter()
+                .map(|&(v, _)| v)
+                .max_by(|&a, &b| prio[a].partial_cmp(&prio[b]).unwrap())
+            {
+                Some(nxt) => cursor = nxt,
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn cpop_reasonable_vs_heft() {
+        // CPOP need not beat HEFT but should be within a small factor.
+        let s = Scenario::paper_random(40, 4, 1.1, 21);
+        let h = det_makespan(&s, &crate::heft(&s));
+        let c = det_makespan(&s, &cpop(&s));
+        assert!(c < 3.0 * h, "CPOP {c} vs HEFT {h}");
+    }
+}

@@ -1,0 +1,222 @@
+//! The eager executor.
+//!
+//! Given a schedule, the start dates of an eager execution are uniquely
+//! determined by the durations in force: a task starts at the maximum of
+//! (a) the finish of the task before it on its machine and (b) the arrival
+//! of every predecessor's data. Those constraints form the *disjunctive
+//! graph* (§II / \[15\]), whose topological order depends only on the
+//! schedule — so we precompute it once per schedule ([`EagerPlan`]) and
+//! replay it cheaply for every realization (the Monte-Carlo engine calls
+//! [`EagerPlan::execute`] 100 000 times per schedule).
+
+use crate::schedule::{Schedule, ScheduleError};
+use robusched_dag::{Dag, EdgeId, NodeId};
+
+/// Start/finish dates of one (deterministic or sampled) execution.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Start date per task.
+    pub start: Vec<f64>,
+    /// Finish date per task.
+    pub finish: Vec<f64>,
+    /// Completion time of the whole application.
+    pub makespan: f64,
+}
+
+/// A schedule compiled for repeated eager execution: a topological order of
+/// the disjunctive graph plus the same-machine predecessor of every task.
+#[derive(Debug, Clone)]
+pub struct EagerPlan {
+    order: Vec<NodeId>,
+    prev_on_proc: Vec<Option<NodeId>>,
+}
+
+impl EagerPlan {
+    /// Compiles `schedule` against `dag`; fails if the eager execution
+    /// would deadlock.
+    pub fn new(dag: &Dag, schedule: &Schedule) -> Result<Self, ScheduleError> {
+        let n = dag.node_count();
+        let mut prev_on_proc = vec![None; n];
+        for p in 0..schedule.machine_count() {
+            let order = schedule.order_on(p);
+            for w in order.windows(2) {
+                prev_on_proc[w[1]] = Some(w[0]);
+            }
+        }
+        // Kahn over DAG edges + prev_on_proc edges.
+        let mut next_on_proc = vec![None; n];
+        for (v, &prev) in prev_on_proc.iter().enumerate() {
+            if let Some(u) = prev {
+                next_on_proc[u] = Some(v);
+            }
+        }
+        let mut indeg: Vec<usize> = (0..n)
+            .map(|v| dag.in_degree(v) + usize::from(prev_on_proc[v].is_some()))
+            .collect();
+        let mut stack: Vec<NodeId> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &(v, _) in dag.succs(u) {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    stack.push(v);
+                }
+            }
+            if let Some(v) = next_on_proc[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(ScheduleError::Deadlock);
+        }
+        Ok(Self {
+            order,
+            prev_on_proc,
+        })
+    }
+
+    /// The disjunctive-graph topological order.
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Same-machine predecessor of each task.
+    pub fn prev_on_proc(&self) -> &[Option<NodeId>] {
+        &self.prev_on_proc
+    }
+
+    /// Replays the eager execution with the given durations.
+    ///
+    /// `task_time(v)` is the duration of `v` on its assigned machine;
+    /// `comm_time(e, u, v)` the communication delay of edge `e = (u, v)`
+    /// given the (caller-known) machine pair. Both are called exactly once
+    /// per task/edge.
+    pub fn execute<FT, FC>(&self, dag: &Dag, mut task_time: FT, mut comm_time: FC) -> ExecResult
+    where
+        FT: FnMut(NodeId) -> f64,
+        FC: FnMut(EdgeId, NodeId, NodeId) -> f64,
+    {
+        let n = dag.node_count();
+        let mut start = vec![0.0f64; n];
+        let mut finish = vec![0.0f64; n];
+        for &v in &self.order {
+            let mut ready = 0.0f64;
+            if let Some(u) = self.prev_on_proc[v] {
+                ready = finish[u];
+            }
+            for &(u, e) in dag.preds(v) {
+                let arrival = finish[u] + comm_time(e, u, v);
+                if arrival > ready {
+                    ready = arrival;
+                }
+            }
+            start[v] = ready;
+            finish[v] = ready + task_time(v);
+        }
+        let makespan = finish.iter().copied().fold(0.0, f64::max);
+        ExecResult {
+            start,
+            finish,
+            makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn two_machine_diamond_execution() {
+        let dag = diamond();
+        let s = Schedule::new(vec![0, 0, 1, 0], vec![vec![0, 1, 3], vec![2]]);
+        let plan = EagerPlan::new(&dag, &s).unwrap();
+        // Unit tasks; cross-machine comm = 10 on (0,2) and (2,3).
+        let r = plan.execute(
+            &dag,
+            |_| 1.0,
+            |_, u, v| {
+                let pu = s.machine_of(u);
+                let pv = s.machine_of(v);
+                if pu == pv {
+                    0.0
+                } else {
+                    10.0
+                }
+            },
+        );
+        assert_eq!(r.start[0], 0.0);
+        assert_eq!(r.finish[0], 1.0);
+        // Task 2 on machine 1 waits for comm: 1 + 10.
+        assert_eq!(r.start[2], 11.0);
+        assert_eq!(r.finish[2], 12.0);
+        // Task 1 on machine 0 right after 0.
+        assert_eq!(r.start[1], 1.0);
+        // Task 3 waits for 2's data (12 + 10 = 22) vs 1's finish (2).
+        assert_eq!(r.start[3], 22.0);
+        assert_eq!(r.makespan, 23.0);
+    }
+
+    #[test]
+    fn sequential_schedule_sums_durations() {
+        let dag = diamond();
+        let s = Schedule::new(vec![0; 4], vec![vec![0, 1, 2, 3]]);
+        let plan = EagerPlan::new(&dag, &s).unwrap();
+        let r = plan.execute(&dag, |v| (v + 1) as f64, |_, _, _| 0.0);
+        // Sum of 1+2+3+4 = 10 (co-located ⇒ no comm).
+        assert_eq!(r.makespan, 10.0);
+        // Starts are cumulative.
+        assert_eq!(r.start, vec![0.0, 1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn machine_order_delays_independent_task() {
+        // Independent tasks serialized on one machine wait for each other.
+        let mut dag = Dag::new(2);
+        let _ = &mut dag; // no edges
+        let s = Schedule::new(vec![0, 0], vec![vec![1, 0]]);
+        let plan = EagerPlan::new(&dag, &s).unwrap();
+        let r = plan.execute(&dag, |_| 2.0, |_, _, _| 0.0);
+        assert_eq!(r.start[1], 0.0);
+        assert_eq!(r.start[0], 2.0);
+        assert_eq!(r.makespan, 4.0);
+    }
+
+    #[test]
+    fn deadlock_rejected() {
+        let dag = diamond();
+        let s = Schedule::new(vec![0; 4], vec![vec![3, 2, 1, 0]]);
+        assert!(EagerPlan::new(&dag, &s).is_err());
+    }
+
+    #[test]
+    fn topo_order_respects_both_edge_kinds() {
+        let dag = diamond();
+        let s = Schedule::new(vec![0, 0, 1, 0], vec![vec![0, 1, 3], vec![2]]);
+        let plan = EagerPlan::new(&dag, &s).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in plan.topo_order().iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for (u, v, _) in dag.edge_triples() {
+            assert!(pos[u] < pos[v]);
+        }
+        assert!(pos[1] < pos[3]); // same-machine order 1 before 3
+    }
+}

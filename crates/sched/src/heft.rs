@@ -1,0 +1,148 @@
+//! HEFT — Heterogeneous Earliest Finish Time (Topcuoglu, Hariri & Wu).
+//!
+//! One of the three makespan-centric heuristics the paper evaluates for
+//! robustness. Two phases:
+//!
+//! 1. *Prioritizing*: tasks sorted by decreasing upward rank computed with
+//!    machine-mean computation costs and mean communication costs;
+//! 2. *Processor selection*: each task goes to the machine minimizing its
+//!    earliest finish time, with the insertion policy (idle gaps between
+//!    already-placed tasks may be used).
+//!
+//! The result is an eager schedule: replaying the per-machine orders with
+//! the same deterministic durations reproduces the HEFT start times.
+
+use crate::rank::{tasks_by_decreasing_rank, upward_ranks};
+use crate::schedule::Schedule;
+use crate::timeline::ProcTimeline;
+use robusched_platform::Scenario;
+
+/// Runs HEFT on the deterministic (minimum) costs.
+pub fn heft(scenario: &Scenario) -> Schedule {
+    let dag = &scenario.graph.dag;
+    let n = dag.node_count();
+    let m = scenario.machine_count();
+    let ranks = upward_ranks(scenario);
+    let order = tasks_by_decreasing_rank(&ranks);
+
+    let mut timelines: Vec<ProcTimeline> = vec![ProcTimeline::new(); m];
+    let mut assignment = vec![usize::MAX; n];
+    let mut finish = vec![0.0f64; n];
+
+    for &t in &order {
+        let mut best_p = 0usize;
+        let mut best_start = f64::INFINITY;
+        let mut best_eft = f64::INFINITY;
+        for (p, timeline) in timelines.iter().enumerate() {
+            // Data-ready time on machine p.
+            let mut ready = 0.0f64;
+            for &(u, e) in dag.preds(t) {
+                debug_assert_ne!(assignment[u], usize::MAX, "rank order broke precedence");
+                let arrival = finish[u] + scenario.det_comm_cost(e, assignment[u], p);
+                if arrival > ready {
+                    ready = arrival;
+                }
+            }
+            let dur = scenario.det_task_cost(t, p);
+            let start = timeline.earliest_slot(ready, dur);
+            let eft = start + dur;
+            if eft < best_eft {
+                best_eft = eft;
+                best_start = start;
+                best_p = p;
+            }
+        }
+        let dur = scenario.det_task_cost(t, best_p);
+        timelines[best_p].insert(best_start, dur, t);
+        assignment[t] = best_p;
+        finish[t] = best_eft;
+    }
+
+    Schedule::new(
+        assignment,
+        timelines.into_iter().map(|tl| tl.task_order()).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::det_makespan;
+    use robusched_dag::{generators, Dag, TaskGraph};
+    use robusched_platform::{CostMatrix, Platform, Scenario, UncertaintyModel};
+
+    #[test]
+    fn heft_valid_on_random_scenarios() {
+        for seed in 0..5 {
+            let s = Scenario::paper_random(30, 4, 1.1, seed);
+            let sched = heft(&s);
+            assert!(sched.validate(&s.graph.dag).is_ok());
+            assert!(det_makespan(&s, &sched) > 0.0);
+        }
+    }
+
+    #[test]
+    fn heft_beats_sequential_when_parallelism_available() {
+        let s = Scenario::paper_random(30, 8, 1.01, 3);
+        let sched = heft(&s);
+        let heft_ms = det_makespan(&s, &sched);
+        // Sequential baseline: everything on machine 0 in topo order.
+        let topo = s.graph.dag.topo_order().unwrap();
+        let seq = Schedule::new(vec![0; 30], vec![topo, vec![], vec![], vec![], vec![], vec![], vec![], vec![]]);
+        let seq_ms = det_makespan(&s, &seq);
+        assert!(
+            heft_ms < seq_ms,
+            "HEFT {heft_ms} should beat sequential {seq_ms}"
+        );
+    }
+
+    #[test]
+    fn heft_single_machine_is_rank_order() {
+        let s = Scenario::paper_random(10, 1, 1.1, 9);
+        let sched = heft(&s);
+        assert!(sched.validate(&s.graph.dag).is_ok());
+        assert_eq!(sched.order_on(0).len(), 10);
+    }
+
+    #[test]
+    fn heft_prefers_fast_machine_on_single_task() {
+        let dag = Dag::new(1);
+        let tg = TaskGraph::new(dag, vec![1.0], vec![], "one");
+        let costs = CostMatrix::from_rows(1, 3, vec![5.0, 1.0, 3.0]);
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(3),
+            costs,
+            UncertaintyModel::none(),
+        );
+        let sched = heft(&s);
+        assert_eq!(sched.machine_of(0), 1);
+    }
+
+    #[test]
+    fn heft_exploits_insertion_gap() {
+        // Fork-join where one branch is long: the short branch should slot
+        // alongside, not serialize.
+        let tg = generators::fork_join(2);
+        // Tasks 0,1 branches; 2 join. Unit comm volume 0 (fork_join sets 0).
+        let costs = CostMatrix::from_rows(
+            3,
+            2,
+            vec![
+                10.0, 10.0, // task 0 long everywhere
+                1.0, 1.0, // task 1 short
+                1.0, 1.0, // join
+            ],
+        );
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(2),
+            costs,
+            UncertaintyModel::none(),
+        );
+        let sched = heft(&s);
+        let ms = det_makespan(&s, &sched);
+        // Optimal: run branches in parallel → 10 + 1 = 11.
+        assert!(ms <= 11.0 + 1e-9, "makespan {ms}");
+    }
+}

@@ -1,0 +1,76 @@
+//! # robusched-sched
+//!
+//! Schedules and scheduling heuristics for heterogeneous DAGs.
+//!
+//! §II of the paper: *"A schedule is the assignment of the tasks to the
+//! processors with a start date and an end-date. In this work we consider
+//! only eager schedules: each task, once allocated to a processor, starts
+//! as soon as possible in the same order given by the schedule."*
+//!
+//! Accordingly, [`schedule::Schedule`] stores only the assignment and the
+//! per-processor task orders; start dates are always *recomputed* by the
+//! eager executor ([`eager::EagerPlan`]) from whatever durations are in
+//! force — deterministic minima for the heuristics, sampled realizations
+//! for Monte-Carlo, random variables for the analytic evaluators.
+//!
+//! Heuristics (all produce eager schedules):
+//! * [`heft`] — HEFT (Topcuoglu, Hariri & Wu): mean-cost upward ranks +
+//!   insertion-based earliest finish time;
+//! * [`bil`] — BIL (Oh & Ha): basic imaginary levels / makespans;
+//! * [`bmct`] — Hyb.BMCT (Sakellariou & Zhao): rank-ordered independent
+//!   groups refined by balanced minimum completion time;
+//! * [`cpop`] — CPOP (Topcuoglu et al.), an extension beyond the paper's
+//!   evaluated set;
+//! * [`random`] — the paper's random schedule generator (uniform ready task
+//!   → uniform processor → eager placement).
+
+pub mod bil;
+pub mod bmct;
+pub mod cpop;
+pub mod eager;
+pub mod heft;
+pub mod random;
+pub mod rank;
+pub mod robust;
+pub mod schedule;
+pub mod timeline;
+
+pub use bil::bil;
+pub use bmct::hyb_bmct;
+pub use cpop::cpop;
+pub use eager::{EagerPlan, ExecResult};
+pub use heft::heft;
+pub use random::random_schedule;
+pub use robust::sigma_heft;
+pub use rank::{downward_ranks, upward_ranks};
+pub use schedule::{Schedule, ScheduleError};
+
+use robusched_platform::Scenario;
+
+/// Deterministic makespan of a schedule under the minimum durations — the
+/// objective every makespan-centric heuristic optimizes.
+///
+/// # Panics
+/// Panics if the schedule is invalid for the scenario's graph.
+pub fn det_makespan(scenario: &Scenario, schedule: &Schedule) -> f64 {
+    let plan = EagerPlan::new(&scenario.graph.dag, schedule).expect("invalid schedule");
+    plan.execute(
+        &scenario.graph.dag,
+        |v| scenario.det_task_cost(v, schedule.machine_of(v)),
+        |e, u, v| scenario.det_comm_cost(e, schedule.machine_of(u), schedule.machine_of(v)),
+    )
+    .makespan
+}
+
+/// Mean-duration makespan (used by the slack metrics, which the paper
+/// computes "by taking the average value of the makespan, the task duration
+/// and the communication duration").
+pub fn mean_makespan(scenario: &Scenario, schedule: &Schedule) -> f64 {
+    let plan = EagerPlan::new(&scenario.graph.dag, schedule).expect("invalid schedule");
+    plan.execute(
+        &scenario.graph.dag,
+        |v| scenario.mean_task_cost(v, schedule.machine_of(v)),
+        |e, u, v| scenario.mean_comm_cost(e, schedule.machine_of(u), schedule.machine_of(v)),
+    )
+    .makespan
+}

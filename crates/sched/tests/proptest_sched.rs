@@ -1,0 +1,122 @@
+//! Property tests for the scheduling layer: every heuristic on every
+//! random scenario must produce a valid, executable eager schedule whose
+//! execution respects all constraints.
+
+use proptest::prelude::*;
+use robusched_platform::Scenario;
+use robusched_sched::{
+    bil, cpop, det_makespan, heft, hyb_bmct, random_schedule, sigma_heft, EagerPlan, Schedule,
+};
+
+/// Checks the physical validity of one deterministic execution: machine
+/// exclusivity and precedence-with-communication timing.
+fn check_execution(s: &Scenario, sched: &Schedule) -> Result<(), String> {
+    let dag = &s.graph.dag;
+    let plan = EagerPlan::new(dag, sched).map_err(|e| e.to_string())?;
+    let r = plan.execute(
+        dag,
+        |v| s.det_task_cost(v, sched.machine_of(v)),
+        |e, u, v| s.det_comm_cost(e, sched.machine_of(u), sched.machine_of(v)),
+    );
+    // Machine exclusivity: consecutive tasks on a machine do not overlap.
+    for p in 0..sched.machine_count() {
+        let order = sched.order_on(p);
+        for w in order.windows(2) {
+            if r.start[w[1]] < r.finish[w[0]] - 1e-9 {
+                return Err(format!(
+                    "overlap on machine {p}: task {} starts {} before {} finishes {}",
+                    w[1], r.start[w[1]], w[0], r.finish[w[0]]
+                ));
+            }
+        }
+    }
+    // Precedence + communication.
+    for (u, v, e) in dag.edge_triples() {
+        let comm = s.det_comm_cost(e, sched.machine_of(u), sched.machine_of(v));
+        if r.start[v] < r.finish[u] + comm - 1e-9 {
+            return Err(format!(
+                "edge {u}->{v}: start {} < finish {} + comm {comm}",
+                r.start[v], r.finish[u]
+            ));
+        }
+    }
+    // Task durations respected.
+    for v in 0..s.task_count() {
+        let dur = s.det_task_cost(v, sched.machine_of(v));
+        if (r.finish[v] - r.start[v] - dur).abs() > 1e-9 {
+            return Err(format!("task {v} duration mismatch"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn all_heuristics_produce_physical_schedules(
+        n in 5usize..35,
+        m in 2usize..6,
+        ul_percent in 1u8..40,
+        seed in 0u64..500,
+    ) {
+        let ul = 1.0 + ul_percent as f64 / 100.0;
+        let s = Scenario::paper_random(n, m, ul, seed);
+        for (name, sched) in [
+            ("heft", heft(&s)),
+            ("bil", bil(&s)),
+            ("bmct", hyb_bmct(&s)),
+            ("cpop", cpop(&s)),
+            ("sigma_heft", sigma_heft(&s, 1.0)),
+            ("random", random_schedule(&s.graph.dag, m, seed ^ 0x99)),
+        ] {
+            check_execution(&s, &sched)
+                .map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
+        }
+    }
+
+    #[test]
+    fn heuristics_never_worse_than_worst_random(
+        n in 8usize..25,
+        seed in 0u64..200,
+    ) {
+        let m = 4;
+        let s = Scenario::paper_random(n, m, 1.1, seed);
+        // The worst of a few random schedules bounds a sane heuristic.
+        let worst = (0..5)
+            .map(|k| det_makespan(&s, &random_schedule(&s.graph.dag, m, seed * 31 + k)))
+            .fold(f64::NEG_INFINITY, f64::max);
+        for (name, sched) in [("heft", heft(&s)), ("bil", bil(&s)), ("bmct", hyb_bmct(&s))] {
+            let ms = det_makespan(&s, &sched);
+            prop_assert!(
+                ms <= worst * 1.05,
+                "{name} ({ms}) worse than the worst random ({worst})"
+            );
+        }
+    }
+
+    #[test]
+    fn heft_deterministic(
+        n in 5usize..25,
+        seed in 0u64..200,
+    ) {
+        let s = Scenario::paper_random(n, 3, 1.1, seed);
+        let a = heft(&s);
+        let b = heft(&s);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_machine_makespan_is_total_work(
+        n in 3usize..20,
+        seed in 0u64..100,
+    ) {
+        // On one machine every schedule's makespan is the sum of durations
+        // (communications are free on-machine).
+        let s = Scenario::paper_random(n, 1, 1.1, seed);
+        let sched = random_schedule(&s.graph.dag, 1, seed);
+        let total: f64 = (0..n).map(|v| s.det_task_cost(v, 0)).sum();
+        let ms = det_makespan(&s, &sched);
+        prop_assert!((ms - total).abs() < 1e-9, "{ms} vs {total}");
+    }
+}

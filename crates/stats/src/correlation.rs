@@ -1,0 +1,130 @@
+//! Correlation coefficients.
+//!
+//! §V of the paper: *"Each metric is then compared to each other visually
+//! and with the statistical Pearson correlation coefficient. Even if this
+//! correlation measure only indicates the linear relationship between two
+//! variables, it is sufficient for slightly curved set of points."*
+//! Spearman's rank correlation is provided as an extension (robust to the
+//! curvature the paper mentions).
+
+use crate::descriptive::mean;
+
+/// Pearson linear correlation coefficient of two equal-length samples.
+///
+/// Returns 0 when either sample is (numerically) constant — the convention
+/// that keeps degenerate metric columns (e.g. slack ≡ 0 on chain graphs)
+/// from poisoning aggregated matrices with NaNs.
+///
+/// # Panics
+/// Panics on length mismatch or fewer than 2 points.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "sample length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Ranks with average ties (1-based, returned as f64).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap());
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank of the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on average-tie ranks).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_invariance() {
+        let xs = [0.3, 1.7, 2.2, 5.0, 9.1];
+        let ys = [2.0, 1.0, 4.0, 3.0, 8.0];
+        let r1 = pearson(&xs, &ys);
+        let xs2: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        let r2 = pearson(&xs2, &ys);
+        assert!((r1 - r2).abs() < 1e-12);
+        // Negative scaling flips the sign.
+        let xs3: Vec<f64> = xs.iter().map(|x| -2.0 * x).collect();
+        assert!((pearson(&xs3, &ys) + r1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_returns_zero() {
+        let xs = [5.0; 4];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(pearson(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn uncorrelated_near_zero() {
+        // A deterministic "checkerboard" with zero covariance.
+        let xs = [1.0, 1.0, -1.0, -1.0];
+        let ys = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&xs, &ys).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        // y = x³ is monotone: Spearman 1, Pearson < 1.
+        let xs: Vec<f64> = (-5..=5).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.powi(3)).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys) < 1.0);
+    }
+
+    #[test]
+    fn spearman_ties_averaged() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let r = ranks(&xs);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        pearson(&[1.0, 2.0], &[1.0]);
+    }
+}

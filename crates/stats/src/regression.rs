@@ -1,0 +1,104 @@
+//! Simple linear regression.
+//!
+//! The scatter-matrix figures of the paper (Figs. 3–5) draw a least-squares
+//! line through every metric pair "in order to visualize the correlation".
+//! The experiment harness emits the same fit parameters alongside each CSV.
+
+use crate::correlation::pearson;
+use crate::descriptive::mean;
+
+/// Least-squares fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Regression {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Pearson correlation of the two samples.
+    pub r: f64,
+    /// Coefficient of determination (`r²` for simple regression).
+    pub r2: f64,
+}
+
+/// Fits a least-squares line.
+///
+/// A (numerically) constant `x` sample yields a horizontal line through the
+/// mean of `y` with `r = 0`.
+///
+/// # Panics
+/// Panics on length mismatch or fewer than two points.
+pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Regression {
+    assert_eq!(xs.len(), ys.len(), "sample length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+    }
+    if sxx <= 0.0 {
+        return Regression {
+            slope: 0.0,
+            intercept: my,
+            r: 0.0,
+            r2: 0.0,
+        };
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r = pearson(xs, ys);
+    Regression {
+        slope,
+        intercept,
+        r,
+        r2: r * r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 1.0).collect();
+        let f = linear_regression(&xs, &ys);
+        assert!((f.slope - 2.5).abs() < 1e-12);
+        assert!((f.intercept + 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_reasonable() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        // Deterministic "noise" with zero mean.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x + 1.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let f = linear_regression(&xs, &ys);
+        assert!((f.slope - 3.0).abs() < 0.01);
+        assert!((f.intercept - 1.0).abs() < 0.05);
+        assert!(f.r2 > 0.999);
+    }
+
+    #[test]
+    fn constant_x_degenerates() {
+        let f = linear_regression(&[2.0, 2.0, 2.0], &[1.0, 5.0, 9.0]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r, 0.0);
+    }
+
+    #[test]
+    fn regression_vs_pearson_consistency() {
+        let xs = [1.0, 3.0, 4.0, 7.0, 9.0];
+        let ys = [2.0, 3.5, 3.0, 8.0, 8.5];
+        let f = linear_regression(&xs, &ys);
+        assert!((f.r - pearson(&xs, &ys)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,244 @@
+//! The classical analytic makespan evaluator (independence assumption).
+//!
+//! §V of the paper: the Dodin and Spelde methods "both gave similar results
+//! to the classical algorithm (which assumes the independence between
+//! random variables when calculating the maximum). The simplest of these
+//! methods was used" — i.e. the experiments rest on this evaluator.
+//!
+//! The recursion over the disjunctive graph in topological order:
+//!
+//! ```text
+//! start(v)  = max over preds u of  finish(u) ⊕ comm(u, v)
+//! finish(v) = start(v) ⊕ duration(v)
+//! makespan  = max over sinks of finish
+//! ```
+//!
+//! with `⊕` the independent-sum (PDF convolution) and `max` the CDF
+//! product, both on 64-point grids (`robusched_randvar::DiscreteRv`).
+
+use robusched_platform::Scenario;
+use robusched_randvar::DiscreteRv;
+use robusched_sched::{EagerPlan, Schedule};
+
+/// Analytic makespan distribution of a schedule (64-point grid).
+pub fn evaluate_classic(scenario: &Scenario, schedule: &Schedule) -> DiscreteRv {
+    evaluate_classic_grid(scenario, schedule, robusched_randvar::DEFAULT_GRID)
+}
+
+/// Same as [`evaluate_classic`] with an explicit grid resolution.
+pub fn evaluate_classic_grid(
+    scenario: &Scenario,
+    schedule: &Schedule,
+    grid: usize,
+) -> DiscreteRv {
+    evaluate_classic_full(scenario, schedule, grid).1
+}
+
+/// Full evaluation: per-task finish distributions plus the makespan
+/// distribution.
+///
+/// # Panics
+/// Panics if the schedule is invalid for the scenario.
+pub fn evaluate_classic_full(
+    scenario: &Scenario,
+    schedule: &Schedule,
+    grid: usize,
+) -> (Vec<DiscreteRv>, DiscreteRv) {
+    let dag = &scenario.graph.dag;
+    let plan = EagerPlan::new(dag, schedule).expect("invalid schedule");
+    let n = dag.node_count();
+    let mut finish: Vec<Option<DiscreteRv>> = vec![None; n];
+
+    for &v in plan.topo_order() {
+        let pv = schedule.machine_of(v);
+        // Start = max of machine-predecessor finish and data arrivals.
+        // When the machine predecessor is also a DAG predecessor its
+        // constraint is identical to the (zero-communication) precedence
+        // constraint; including both would take max(X, X) under the
+        // independence assumption and bias the mean upward. The disjunctive
+        // graph de-duplicates these edges for the same reason.
+        let mut start: Option<DiscreteRv> = plan.prev_on_proc()[v]
+            .filter(|&u| !dag.has_edge(u, v))
+            .map(|u| finish[u].clone().expect("topo order broken"));
+        for &(u, e) in dag.preds(v) {
+            let pu = schedule.machine_of(u);
+            let fu = finish[u].as_ref().expect("topo order broken");
+            let arrival = if pu == pv {
+                // Same machine: zero communication.
+                fu.clone()
+            } else {
+                let comm = scenario.comm_dist(e, pu, pv);
+                let comm_rv = DiscreteRv::from_dist(&comm, grid);
+                fu.sum(&comm_rv)
+            };
+            start = Some(match start {
+                None => arrival,
+                Some(s) => s.max(&arrival),
+            });
+        }
+        let dur = DiscreteRv::from_dist(&scenario.task_dist(v, pv), grid);
+        let f = match start {
+            None => dur, // entry task starts at 0
+            Some(s) => s.sum(&dur),
+        };
+        finish[v] = Some(f);
+    }
+
+    let finish: Vec<DiscreteRv> = finish.into_iter().map(|f| f.unwrap()).collect();
+
+    // Makespan: max over disjunctive sinks (tasks with no DAG successor and
+    // no machine successor; every other finish is dominated).
+    let mut next_on_proc = vec![false; n];
+    for p in 0..schedule.machine_count() {
+        let order = schedule.order_on(p);
+        for w in order.windows(2) {
+            next_on_proc[w[0]] = true;
+        }
+    }
+    let mut makespan: Option<DiscreteRv> = None;
+    for v in 0..n {
+        if dag.out_degree(v) == 0 && !next_on_proc[v] {
+            makespan = Some(match makespan {
+                None => finish[v].clone(),
+                Some(m) => m.max(&finish[v]),
+            });
+        }
+    }
+    let makespan = makespan.expect("at least one sink");
+    (finish, makespan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robusched_dag::{generators, Dag, TaskGraph};
+    use robusched_numeric::approx_eq;
+    use robusched_platform::{CostMatrix, Platform, UncertaintyModel};
+    use robusched_sched::det_makespan;
+
+    fn chain_scenario(ul: f64) -> (Scenario, Schedule) {
+        let tg = generators::chain(3);
+        let costs = CostMatrix::from_rows(3, 1, vec![10.0, 20.0, 30.0]);
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(1),
+            costs,
+            UncertaintyModel::paper(ul),
+        );
+        let sched = Schedule::new(vec![0; 3], vec![vec![0, 1, 2]]);
+        (s, sched)
+    }
+
+    #[test]
+    fn chain_makespan_is_sum_of_betas() {
+        let (s, sched) = chain_scenario(1.1);
+        let rv = evaluate_classic(&s, &sched);
+        // Sum of Beta(2,5) on [10,11], [20,22], [30,33]:
+        // mean = 60 + (1+2+3)·(2/7); support [60, 66].
+        assert!(approx_eq(rv.lo(), 60.0, 1e-9));
+        assert!(approx_eq(rv.hi(), 66.0, 1e-9));
+        let expect_mean = 60.0 + 6.0 * (2.0 / 7.0);
+        assert!(approx_eq(rv.mean(), expect_mean, 1e-2), "{}", rv.mean());
+        // Variance adds: (UL−1)²·wᵢ² · Var(Beta) each.
+        let beta_var = 10.0 / (49.0 * 8.0);
+        let expect_var = (1.0 + 4.0 + 9.0) * beta_var;
+        assert!(approx_eq(rv.variance(), expect_var, 5e-2), "{}", rv.variance());
+    }
+
+    #[test]
+    fn deterministic_limit_matches_eager_executor() {
+        let (mut s, sched) = chain_scenario(1.0);
+        s.uncertainty = UncertaintyModel::none();
+        let rv = evaluate_classic(&s, &sched);
+        assert!(rv.is_point());
+        assert!(approx_eq(rv.mean(), det_makespan(&s, &sched), 1e-12));
+    }
+
+    #[test]
+    fn fork_join_uses_max() {
+        // Two independent unit tasks on two machines joining into a third:
+        // the makespan mean must exceed a single branch's mean (max ≥ each).
+        let tg = generators::fork_join(2);
+        let costs = CostMatrix::from_rows(3, 2, vec![10.0; 6]);
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(2),
+            costs,
+            UncertaintyModel::paper(1.5),
+        );
+        let sched = Schedule::new(vec![0, 1, 0], vec![vec![0, 2], vec![1]]);
+        let rv = evaluate_classic(&s, &sched);
+        // Branch finish mean: 10 + 5·2/7 ≈ 11.43; join adds another task.
+        let branch_mean = 10.0 + 5.0 * (2.0 / 7.0);
+        assert!(rv.mean() > 2.0 * branch_mean - 1.0);
+        // Support: [20, 30].
+        assert!(approx_eq(rv.lo(), 20.0, 1e-9));
+        assert!(approx_eq(rv.hi(), 30.0, 1e-9));
+    }
+
+    #[test]
+    fn machine_sequencing_respected() {
+        // Two independent tasks on ONE machine: makespan = sum, not max.
+        let dag = Dag::new(2);
+        let tg = TaskGraph::new(dag, vec![1.0; 2], vec![], "ind2");
+        let costs = CostMatrix::from_rows(2, 1, vec![10.0, 10.0]);
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(1),
+            costs,
+            UncertaintyModel::paper(1.2),
+        );
+        let sched = Schedule::new(vec![0, 0], vec![vec![0, 1]]);
+        let rv = evaluate_classic(&s, &sched);
+        assert!(approx_eq(rv.lo(), 20.0, 1e-9));
+        assert!(approx_eq(rv.hi(), 24.0, 1e-9));
+        let expect_mean = 20.0 + 2.0 * 2.0 * (2.0 / 7.0);
+        assert!(approx_eq(rv.mean(), expect_mean, 1e-2));
+    }
+
+    #[test]
+    fn cross_machine_communication_charged() {
+        let tg = generators::chain(2); // volume 1 on the edge
+        let costs = CostMatrix::from_rows(2, 2, vec![10.0; 4]);
+        let s = Scenario::new(
+            tg,
+            Platform::homogeneous(2, 5.0, 0.0),
+            costs,
+            UncertaintyModel::paper(1.1),
+        );
+        // Across machines: comm min 5.
+        let sched = Schedule::new(vec![0, 1], vec![vec![0], vec![1]]);
+        let rv = evaluate_classic(&s, &sched);
+        assert!(approx_eq(rv.lo(), 25.0, 1e-9));
+        // Same machine: no comm.
+        let sched2 = Schedule::new(vec![0, 0], vec![vec![0, 1]]);
+        let rv2 = evaluate_classic(&s, &sched2);
+        assert!(approx_eq(rv2.lo(), 20.0, 1e-9));
+    }
+
+    #[test]
+    fn full_returns_monotone_finishes() {
+        let s = Scenario::paper_random(15, 3, 1.1, 3);
+        let sched = robusched_sched::heft(&s);
+        let (finish, ms) = evaluate_classic_full(&s, &sched, 64);
+        assert_eq!(finish.len(), 15);
+        // Along every precedence edge the successor's mean finish is later.
+        for (u, v, _) in s.graph.dag.edge_triples() {
+            assert!(finish[v].mean() > finish[u].mean() - 1e-9);
+        }
+        // Makespan dominates every finish mean.
+        for f in &finish {
+            assert!(ms.mean() >= f.mean() - 1e-6);
+        }
+    }
+
+    #[test]
+    fn grid_resolution_converges() {
+        let s = Scenario::paper_random(12, 3, 1.1, 9);
+        let sched = robusched_sched::heft(&s);
+        let coarse = evaluate_classic_grid(&s, &sched, 32);
+        let fine = evaluate_classic_grid(&s, &sched, 128);
+        assert!(approx_eq(coarse.mean(), fine.mean(), 1e-2));
+        assert!((coarse.std_dev() - fine.std_dev()).abs() < 0.05 * fine.std_dev().max(1e-9));
+    }
+}

@@ -1,0 +1,235 @@
+//! Task criticality indices — which tasks actually drive the makespan?
+//!
+//! The *criticality index* of a task is the probability that it lies on a
+//! critical (longest) path of a realization. §VII of the paper reasons
+//! about exactly this ("only the three tasks on the critical path will have
+//! an incidence on the makespan if one of those is late"); the index makes
+//! the reasoning quantitative and is the standard diagnostic in stochastic
+//! project networks (Dodin's literature). Estimated by Monte-Carlo: per
+//! realization the critical chain is recovered by walking constraints
+//! backwards from the makespan-defining task.
+
+use crossbeam::thread;
+use robusched_platform::Scenario;
+use robusched_randvar::dist::uniform01;
+use robusched_randvar::{derive_seed, QuantileTable};
+use robusched_sched::{EagerPlan, Schedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Timing comparison tolerance when matching the binding constraint.
+const EPS: f64 = 1e-9;
+
+/// Estimates per-task criticality indices with `realizations` Monte-Carlo
+/// samples. Returns one probability per task.
+///
+/// # Panics
+/// Panics on an invalid schedule or zero realizations.
+pub fn criticality_indices(
+    scenario: &Scenario,
+    schedule: &Schedule,
+    realizations: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(realizations > 0, "need at least one realization");
+    let dag = &scenario.graph.dag;
+    let plan = EagerPlan::new(dag, schedule).expect("invalid schedule");
+    let n = dag.node_count();
+    let ul = |v: usize| scenario.task_ul(v);
+
+    // Affine sampling plan (same construction as the MC engine).
+    let task_affine: Vec<(f64, f64)> = (0..n)
+        .map(|v| {
+            let w = scenario.det_task_cost(v, schedule.machine_of(v));
+            (w, (ul(v) - 1.0) * w)
+        })
+        .collect();
+    let edge_affine: Vec<(f64, f64)> = dag
+        .edge_triples()
+        .map(|(u, v, e)| {
+            let w = scenario.det_comm_cost(e, schedule.machine_of(u), schedule.machine_of(v));
+            (w, (scenario.uncertainty.ul - 1.0) * w)
+        })
+        .collect();
+    let table = scenario
+        .uncertainty
+        .base_shape()
+        .map(|b| QuantileTable::with_default_resolution(&b));
+
+    const CHUNK: usize = 1024;
+    let n_chunks = realizations.div_ceil(CHUNK);
+    let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let mut start = vec![0.0f64; n];
+                let mut finish = vec![0.0f64; n];
+                let mut dur = vec![0.0f64; n];
+                let mut comm = vec![0.0f64; edge_affine.len()];
+                let mut on_path = vec![false; n];
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let mut rng = StdRng::seed_from_u64(derive_seed(seed, c as u64));
+                    let this_chunk = CHUNK.min(realizations - c * CHUNK);
+                    for _ in 0..this_chunk {
+                        // Sample and execute.
+                        for (v, &(lo, span)) in task_affine.iter().enumerate() {
+                            dur[v] = match &table {
+                                Some(t) if span > 0.0 => lo + span * t.quantile(uniform01(&mut rng)),
+                                _ => lo,
+                            };
+                        }
+                        for (e, &(lo, span)) in edge_affine.iter().enumerate() {
+                            comm[e] = match &table {
+                                Some(t) if span > 0.0 => lo + span * t.quantile(uniform01(&mut rng)),
+                                _ => lo,
+                            };
+                        }
+                        let mut sink = 0usize;
+                        let mut best = f64::NEG_INFINITY;
+                        for &v in plan.topo_order() {
+                            let mut ready = 0.0f64;
+                            if let Some(u) = plan.prev_on_proc()[v] {
+                                ready = finish[u];
+                            }
+                            for &(u, e) in dag.preds(v) {
+                                let a = finish[u] + comm[e];
+                                if a > ready {
+                                    ready = a;
+                                }
+                            }
+                            start[v] = ready;
+                            finish[v] = ready + dur[v];
+                            if finish[v] > best {
+                                best = finish[v];
+                                sink = v;
+                            }
+                        }
+                        // Backtrace the binding chain from the sink.
+                        on_path.iter_mut().for_each(|b| *b = false);
+                        let mut cur = sink;
+                        loop {
+                            on_path[cur] = true;
+                            if start[cur] <= EPS {
+                                break;
+                            }
+                            // Which constraint binds the start of `cur`?
+                            let mut nxt: Option<usize> = None;
+                            if let Some(u) = plan.prev_on_proc()[cur] {
+                                if (finish[u] - start[cur]).abs() <= EPS {
+                                    nxt = Some(u);
+                                }
+                            }
+                            if nxt.is_none() {
+                                for &(u, e) in dag.preds(cur) {
+                                    if (finish[u] + comm[e] - start[cur]).abs() <= EPS {
+                                        nxt = Some(u);
+                                        break;
+                                    }
+                                }
+                            }
+                            match nxt {
+                                Some(u) => cur = u,
+                                None => break, // numerically ambiguous; stop
+                            }
+                        }
+                        for (v, &hit) in on_path.iter().enumerate() {
+                            if hit {
+                                counts[v].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("criticality worker panicked");
+
+    counts
+        .into_iter()
+        .map(|c| c.into_inner() as f64 / realizations as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robusched_dag::generators;
+    use robusched_platform::{CostMatrix, Platform, UncertaintyModel};
+
+    #[test]
+    fn chain_every_task_critical() {
+        let tg = generators::chain(5);
+        let costs = CostMatrix::from_rows(5, 1, vec![10.0; 5]);
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(1),
+            costs,
+            UncertaintyModel::paper(1.2),
+        );
+        let sched = Schedule::new(vec![0; 5], vec![(0..5).collect()]);
+        let c = criticality_indices(&s, &sched, 2_000, 1);
+        for (v, &p) in c.iter().enumerate() {
+            assert!((p - 1.0).abs() < 1e-12, "task {v}: {p}");
+        }
+    }
+
+    #[test]
+    fn dominated_branch_rarely_critical() {
+        // Fork-join with one long branch (100) and one short (1): the short
+        // branch almost never binds.
+        let tg = generators::fork_join(2);
+        let costs = CostMatrix::from_rows(3, 2, vec![100.0, 100.0, 1.0, 1.0, 10.0, 10.0]);
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(2),
+            costs,
+            UncertaintyModel::paper(1.1),
+        );
+        let sched = Schedule::new(vec![0, 1, 0], vec![vec![0, 2], vec![1]]);
+        let c = criticality_indices(&s, &sched, 5_000, 2);
+        assert!(c[0] > 0.99, "long branch {}", c[0]);
+        assert!(c[1] < 0.01, "short branch {}", c[1]);
+        assert!(c[2] > 0.99, "join {}", c[2]);
+    }
+
+    #[test]
+    fn symmetric_branches_split_criticality() {
+        // Two identical branches: each critical ~half the time; the join
+        // always.
+        let tg = generators::fork_join(2);
+        let costs = CostMatrix::from_rows(3, 2, vec![10.0; 6]);
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(2),
+            costs,
+            UncertaintyModel::paper(1.5),
+        );
+        let sched = Schedule::new(vec![0, 1, 0], vec![vec![0, 2], vec![1]]);
+        let c = criticality_indices(&s, &sched, 20_000, 3);
+        assert!((c[0] - 0.5).abs() < 0.05, "branch 0: {}", c[0]);
+        assert!((c[1] - 0.5).abs() < 0.05, "branch 1: {}", c[1]);
+        assert!(c[2] > 0.999);
+        // Complementary branches: probabilities sum to ≈ 1 (ties are
+        // measure-zero under continuous durations).
+        assert!((c[0] + c[1] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let s = Scenario::paper_random(12, 3, 1.2, 9);
+        let sched = robusched_sched::heft(&s);
+        let a = criticality_indices(&s, &sched, 3_000, 7);
+        let b = criticality_indices(&s, &sched, 3_000, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,360 @@
+//! Dodin's series-parallel reduction of the makespan network.
+//!
+//! §II of the paper: *"The Dodin method uses a succession of reductions
+//! applied to a given series-parallel graph. This results in a sole node
+//! whose random variable is equivalent to the makespan distribution of the
+//! complete graph. A mechanism is used to transform any graph into a
+//! series-parallel one with some approximation."*
+//!
+//! We build the *activity-on-arc* network of the scheduled (disjunctive)
+//! task graph — every task and every communication becomes an arc carrying
+//! its duration RV — and reduce:
+//!
+//! * **series**: an interior event with one in-arc and one out-arc merges
+//!   them into their independent sum (convolution);
+//! * **parallel**: two arcs sharing both endpoints merge into their
+//!   independent maximum (CDF product);
+//! * **duplication** (the approximation): when neither applies, an event
+//!   with several in-arcs is split — one in-arc moves to a fresh copy of
+//!   the event, whose out-arcs are duplicated as independent copies. This
+//!   is Dodin's device for forcing general DAGs into series-parallel form;
+//!   duplicated subpaths are treated as independent, which is exactly the
+//!   approximation the paper alludes to.
+//!
+//! A growth cap guards against the (known) worst-case blow-up of
+//! duplication; past the cap we finish the remaining network with the
+//! classical independence recursion, which the paper found to give
+//! "similar results".
+
+use crate::disjunctive::DisjunctiveGraph;
+use robusched_platform::Scenario;
+use robusched_randvar::DiscreteRv;
+use robusched_sched::Schedule;
+
+/// Growth cap: give up duplicating when the arc count exceeds this multiple
+/// of the initial count (then finish with the classical recursion).
+const GROWTH_CAP: usize = 64;
+
+#[derive(Debug, Clone)]
+struct Arc {
+    from: usize,
+    to: usize,
+    rv: DiscreteRv,
+}
+
+struct Net {
+    arcs: Vec<Option<Arc>>,
+    in_arcs: Vec<Vec<usize>>,
+    out_arcs: Vec<Vec<usize>>,
+    source: usize,
+    sink: usize,
+}
+
+impl Net {
+    fn add_event(&mut self) -> usize {
+        self.in_arcs.push(Vec::new());
+        self.out_arcs.push(Vec::new());
+        self.in_arcs.len() - 1
+    }
+
+    fn add_arc(&mut self, from: usize, to: usize, rv: DiscreteRv) -> usize {
+        let id = self.arcs.len();
+        self.arcs.push(Some(Arc { from, to, rv }));
+        self.out_arcs[from].push(id);
+        self.in_arcs[to].push(id);
+        id
+    }
+
+    fn remove_arc(&mut self, id: usize) -> Arc {
+        let arc = self.arcs[id].take().expect("arc already removed");
+        self.out_arcs[arc.from].retain(|&a| a != id);
+        self.in_arcs[arc.to].retain(|&a| a != id);
+        arc
+    }
+
+    fn live_arc_count(&self) -> usize {
+        self.arcs.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// One pass of series reductions; returns true if anything changed.
+    fn series_pass(&mut self) -> bool {
+        let mut changed = false;
+        for x in 0..self.in_arcs.len() {
+            if x == self.source || x == self.sink {
+                continue;
+            }
+            while self.in_arcs[x].len() == 1 && self.out_arcs[x].len() == 1 {
+                let ain = self.in_arcs[x][0];
+                let aout = self.out_arcs[x][0];
+                let a = self.remove_arc(ain);
+                let b = self.remove_arc(aout);
+                let rv = a.rv.sum(&b.rv);
+                self.add_arc(a.from, b.to, rv);
+                changed = true;
+                if a.from == x || b.to == x {
+                    break; // defensive: self-referential structure
+                }
+            }
+        }
+        changed
+    }
+
+    /// One pass of parallel reductions; returns true if anything changed.
+    fn parallel_pass(&mut self) -> bool {
+        let mut changed = false;
+        for from in 0..self.out_arcs.len() {
+            loop {
+                // Find two arcs from `from` to the same head.
+                let mut found: Option<(usize, usize)> = None;
+                'outer: for (i, &a) in self.out_arcs[from].iter().enumerate() {
+                    for &b in self.out_arcs[from].iter().skip(i + 1) {
+                        let ta = self.arcs[a].as_ref().unwrap().to;
+                        let tb = self.arcs[b].as_ref().unwrap().to;
+                        if ta == tb {
+                            found = Some((a, b));
+                            break 'outer;
+                        }
+                    }
+                }
+                match found {
+                    Some((a, b)) => {
+                        let x = self.remove_arc(a);
+                        let y = self.remove_arc(b);
+                        let rv = x.rv.max(&y.rv);
+                        self.add_arc(x.from, x.to, rv);
+                        changed = true;
+                    }
+                    None => break,
+                }
+            }
+        }
+        changed
+    }
+
+    /// Dodin's duplication step. Returns false when no candidate exists
+    /// (the network should then be a single arc) or the growth cap is hit.
+    fn duplicate_step(&mut self, initial_arcs: usize) -> bool {
+        if self.live_arc_count() > GROWTH_CAP * initial_arcs {
+            return false;
+        }
+        // Candidate: an interior event with ≥ 2 in-arcs and ≥ 1 out-arc.
+        // Prefer the one with the fewest out-arcs (cheapest duplication).
+        let mut best: Option<(usize, usize)> = None; // (out_count, event)
+        for x in 0..self.in_arcs.len() {
+            if x == self.source || x == self.sink {
+                continue;
+            }
+            if self.in_arcs[x].len() >= 2 && !self.out_arcs[x].is_empty() {
+                let key = self.out_arcs[x].len();
+                if best.is_none_or(|(k, _)| key < k) {
+                    best = Some((key, x));
+                }
+            }
+        }
+        let Some((_, x)) = best else {
+            return false;
+        };
+        // Move one in-arc to a fresh event x' and copy x's out-arcs there.
+        let moved_id = self.in_arcs[x][0];
+        let moved = self.remove_arc(moved_id);
+        let x_new = self.add_event();
+        self.add_arc(moved.from, x_new, moved.rv);
+        let outs: Vec<usize> = self.out_arcs[x].clone();
+        for aid in outs {
+            let (to, rv) = {
+                let arc = self.arcs[aid].as_ref().unwrap();
+                (arc.to, arc.rv.clone())
+            };
+            // Independent-copy assumption: the duplicated activity's RV is
+            // treated as a fresh independent variable.
+            self.add_arc(x_new, to, rv);
+        }
+        true
+    }
+
+    /// Finishes a non-reducible remainder with the classical recursion
+    /// (longest-path with independent max), used past the growth cap.
+    fn fallback_topo(&self) -> DiscreteRv {
+        let n_events = self.in_arcs.len();
+        // Topological order of events by live arcs.
+        let mut indeg: Vec<usize> = (0..n_events).map(|v| self.in_arcs[v].len()).collect();
+        let mut stack: Vec<usize> = (0..n_events)
+            .filter(|&v| indeg[v] == 0 && (!self.out_arcs[v].is_empty() || v == self.sink))
+            .collect();
+        let mut dist: Vec<Option<DiscreteRv>> = vec![None; n_events];
+        for &s in &stack {
+            dist[s] = Some(DiscreteRv::point(0.0));
+        }
+        while let Some(u) = stack.pop() {
+            let du = dist[u].clone().unwrap_or_else(|| DiscreteRv::point(0.0));
+            for &aid in &self.out_arcs[u] {
+                let arc = self.arcs[aid].as_ref().unwrap();
+                let cand = du.sum(&arc.rv);
+                dist[arc.to] = Some(match dist[arc.to].take() {
+                    None => cand,
+                    Some(d) => d.max(&cand),
+                });
+                indeg[arc.to] -= 1;
+                if indeg[arc.to] == 0 {
+                    stack.push(arc.to);
+                }
+            }
+        }
+        dist[self.sink]
+            .clone()
+            .unwrap_or_else(|| DiscreteRv::point(0.0))
+    }
+}
+
+/// Evaluates the makespan distribution by Dodin's method.
+///
+/// # Panics
+/// Panics if the schedule is invalid for the scenario.
+pub fn evaluate_dodin(scenario: &Scenario, schedule: &Schedule, grid: usize) -> DiscreteRv {
+    let dg = DisjunctiveGraph::build(&scenario.graph.dag, schedule);
+    let n = scenario.task_count();
+
+    let mut net = Net {
+        arcs: Vec::new(),
+        in_arcs: Vec::new(),
+        out_arcs: Vec::new(),
+        source: 0,
+        sink: 1,
+    };
+    net.add_event(); // source
+    net.add_event(); // sink
+    let ev_in: Vec<usize> = (0..n).map(|_| net.add_event()).collect();
+    let ev_out: Vec<usize> = (0..n).map(|_| net.add_event()).collect();
+
+    for v in 0..n {
+        let p = schedule.machine_of(v);
+        let rv = DiscreteRv::from_dist(&scenario.task_dist(v, p), grid);
+        net.add_arc(ev_in[v], ev_out[v], rv);
+    }
+    for (u, v, aug_e) in dg.dag.edge_triples() {
+        let rv = match dg.orig_edge[aug_e] {
+            Some(orig) => {
+                let pu = schedule.machine_of(u);
+                let pv = schedule.machine_of(v);
+                if pu == pv {
+                    DiscreteRv::point(0.0)
+                } else {
+                    DiscreteRv::from_dist(&scenario.comm_dist(orig, pu, pv), grid)
+                }
+            }
+            None => DiscreteRv::point(0.0),
+        };
+        net.add_arc(ev_out[u], ev_in[v], rv);
+    }
+    for v in 0..n {
+        if dg.dag.in_degree(v) == 0 {
+            net.add_arc(net.source, ev_in[v], DiscreteRv::point(0.0));
+        }
+        if dg.dag.out_degree(v) == 0 {
+            net.add_arc(ev_out[v], net.sink, DiscreteRv::point(0.0));
+        }
+    }
+
+    let initial_arcs = net.live_arc_count().max(1);
+    loop {
+        let mut progressed = false;
+        while net.series_pass() || net.parallel_pass() {
+            progressed = true;
+        }
+        // Reduced to a single source→sink arc?
+        if net.live_arc_count() == 1 {
+            let id = net.arcs.iter().position(|a| a.is_some()).unwrap();
+            let arc = net.arcs[id].as_ref().unwrap();
+            debug_assert_eq!(arc.from, net.source);
+            debug_assert_eq!(arc.to, net.sink);
+            return arc.rv.clone();
+        }
+        if !net.duplicate_step(initial_arcs) {
+            // Growth cap reached or irreducible: classical finish.
+            let _ = progressed;
+            return net.fallback_topo();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::evaluate_classic;
+    use robusched_dag::generators;
+    use robusched_numeric::approx_eq;
+    use robusched_platform::{CostMatrix, Platform, UncertaintyModel};
+
+    #[test]
+    fn chain_is_exact_sum() {
+        let tg = generators::chain(4);
+        let costs = CostMatrix::from_rows(4, 1, vec![10.0; 4]);
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(1),
+            costs,
+            UncertaintyModel::paper(1.2),
+        );
+        let sched = Schedule::new(vec![0; 4], vec![vec![0, 1, 2, 3]]);
+        let d = evaluate_dodin(&s, &sched, 64);
+        let c = evaluate_classic(&s, &sched);
+        assert!(approx_eq(d.mean(), c.mean(), 1e-3));
+        assert!(approx_eq(d.std_dev(), c.std_dev(), 1e-2));
+    }
+
+    #[test]
+    fn fork_join_series_parallel_exact() {
+        // Fork-join is series-parallel: Dodin needs no duplication and
+        // matches the classical evaluator.
+        let tg = generators::fork_join(3);
+        let costs = CostMatrix::from_rows(4, 3, vec![10.0; 12]);
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(3),
+            costs,
+            UncertaintyModel::paper(1.5),
+        );
+        let sched = Schedule::new(
+            vec![0, 1, 2, 0],
+            vec![vec![0, 3], vec![1], vec![2]],
+        );
+        let d = evaluate_dodin(&s, &sched, 64);
+        let c = evaluate_classic(&s, &sched);
+        assert!(approx_eq(d.mean(), c.mean(), 1e-2), "{} vs {}", d.mean(), c.mean());
+        assert!((d.std_dev() - c.std_dev()).abs() < 0.05 * c.std_dev().max(0.1));
+    }
+
+    #[test]
+    fn general_graph_close_to_classic() {
+        // A non-series-parallel scheduled graph: duplication kicks in; the
+        // paper reports "similar results" between the methods.
+        let s = Scenario::paper_random(15, 3, 1.1, 23);
+        let sched = robusched_sched::heft(&s);
+        let d = evaluate_dodin(&s, &sched, 64);
+        let c = evaluate_classic(&s, &sched);
+        assert!(
+            (d.mean() - c.mean()).abs() / c.mean() < 0.02,
+            "means {} vs {}",
+            d.mean(),
+            c.mean()
+        );
+        assert!(d.ks_distance(&c) < 0.2, "ks {}", d.ks_distance(&c));
+    }
+
+    #[test]
+    fn deterministic_network_reduces_to_point() {
+        let tg = generators::diamond(2);
+        let costs = CostMatrix::from_rows(4, 2, vec![5.0; 8]);
+        let s = Scenario::new(
+            tg,
+            Platform::paper_default(2),
+            costs,
+            UncertaintyModel::none(),
+        );
+        let sched = Schedule::new(vec![0, 0, 1, 0], vec![vec![0, 1, 3], vec![2]]);
+        let d = evaluate_dodin(&s, &sched, 64);
+        let det = robusched_sched::det_makespan(&s, &sched);
+        assert!(approx_eq(d.mean(), det, 1e-6), "{} vs {det}", d.mean());
+        assert!(d.std_dev() < 1e-6);
+    }
+}

@@ -1,0 +1,44 @@
+//! # robusched-stochastic
+//!
+//! Makespan-distribution evaluation — the computational heart of the paper.
+//!
+//! Given an eager schedule whose task and communication durations are
+//! random variables, the makespan is itself a random variable. §II and §V
+//! of the paper describe four ways to get at it, all implemented here:
+//!
+//! * [`classic`] — the "classical algorithm (which assumes the independence
+//!   between random variables when calculating the maximum)": walk the
+//!   disjunctive graph in topological order, `sum` for serial dependencies
+//!   (PDF convolution), `max` for joins (CDF product). This is the method
+//!   the paper actually used for its experiments.
+//! * [`spelde`] — Spelde's central-limit method: every variable reduced to
+//!   (mean, variance), sums add moments, maxima use Clark's equations —
+//!   "the makespan is calculated without doing any convolution".
+//! * [`dodin`] — Dodin's series-parallel reduction on the activity-on-arc
+//!   network, with node duplication to force general graphs into
+//!   series-parallel form.
+//! * [`montecarlo`] — the ground truth: 100 000 (configurable) sampled
+//!   realizations replayed through the eager executor, parallelized with
+//!   crossbeam and deterministic regardless of thread count.
+//!
+//! [`disjunctive`] builds the schedule-augmented precedence graph
+//! (§II: "adding edges between independent tasks when they are scheduled
+//! consecutively on the same processor"); [`accuracy`] measures the KS and
+//! area (CM) distances between an analytic distribution and the empirical
+//! one (Fig. 1 / Fig. 2).
+
+pub mod accuracy;
+pub mod classic;
+pub mod criticality;
+pub mod disjunctive;
+pub mod dodin;
+pub mod montecarlo;
+pub mod spelde;
+
+pub use accuracy::AccuracyReport;
+pub use classic::{evaluate_classic, evaluate_classic_full};
+pub use criticality::criticality_indices;
+pub use disjunctive::DisjunctiveGraph;
+pub use dodin::evaluate_dodin;
+pub use montecarlo::{mc_makespans, McConfig};
+pub use spelde::{evaluate_spelde, SpeldeResult};

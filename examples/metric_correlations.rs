@@ -1,0 +1,64 @@
+//! Mini correlation study: the paper's §VI protocol on one case, printed
+//! as the combined Pearson matrix (this is Fig. 3/4/5 at example scale).
+//!
+//! ```text
+//! cargo run --release --example metric_correlations [n_tasks] [machines] [schedules]
+//! ```
+
+use robusched::core::{run_case, StudyConfig, METRIC_LABELS};
+use robusched::platform::Scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let m: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let k: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(500);
+
+    let scenario = Scenario::paper_random(n, m, 1.01, 11);
+    let res = run_case(
+        &scenario,
+        &StudyConfig {
+            random_schedules: k,
+            seed: 3,
+            with_heuristics: true,
+            with_cpop: true,
+            ..Default::default()
+        },
+    );
+
+    println!(
+        "Pearson correlations over {k} random schedules ({n} tasks, {m} machines, UL = 1.01)\n"
+    );
+    // Header.
+    print!("{:>18}", "");
+    for l in METRIC_LABELS {
+        print!("{:>10}", &l[..l.len().min(9)]);
+    }
+    println!();
+    for (i, li) in METRIC_LABELS.iter().enumerate() {
+        print!("{li:>18}");
+        for j in 0..METRIC_LABELS.len() {
+            if i == j {
+                print!("{:>10}", "—");
+            } else {
+                print!("{:>10.3}", res.pearson.get(i, j));
+            }
+        }
+        println!();
+    }
+
+    println!("\nheuristics vs the random cloud:");
+    let best = res
+        .random
+        .iter()
+        .map(|mv| mv.expected_makespan)
+        .fold(f64::INFINITY, f64::min);
+    for (name, mv) in &res.heuristics {
+        println!(
+            "  {name:>9}: E(M) = {:.2} ({:+.1}% vs best random), σ_M = {:.4}",
+            mv.expected_makespan,
+            100.0 * (mv.expected_makespan / best - 1.0),
+            mv.makespan_std
+        );
+    }
+}
