@@ -5,7 +5,9 @@ use robusched_bench::{bench_scenario, bench_scenario_medium, bench_schedule};
 use robusched_numeric::convolution::{convolve_direct, convolve_fft, convolve_overlap_add};
 use robusched_randvar::{DiscreteRv, ScaledBeta};
 use robusched_sched::{bil, cpop, heft, hyb_bmct, random_schedule, sigma_heft};
-use robusched_stochastic::{evaluate_classic, evaluate_dodin, evaluate_spelde, mc_makespans, McConfig};
+use robusched_stochastic::{
+    evaluate_classic, evaluate_dodin, evaluate_spelde, mc_makespans, McConfig,
+};
 use std::hint::black_box;
 
 fn convolution_kernels(c: &mut Criterion) {
@@ -46,7 +48,9 @@ fn heuristics(c: &mut Criterion) {
     g.bench_function("bmct-30", |b| b.iter(|| hyb_bmct(black_box(&s))));
     g.bench_function("cpop-30", |b| b.iter(|| cpop(black_box(&s))));
     g.bench_function("heft-100", |b| b.iter(|| heft(black_box(&m))));
-    g.bench_function("sigma-heft-30", |b| b.iter(|| sigma_heft(black_box(&s), 1.0)));
+    g.bench_function("sigma-heft-30", |b| {
+        b.iter(|| sigma_heft(black_box(&s), 1.0))
+    });
     g.bench_function("random-schedule-30", |b| {
         let mut seed = 0u64;
         b.iter(|| {

@@ -150,11 +150,7 @@ pub fn slack_metrics(
     let slacks: Vec<f64> = (0..scenario.task_count())
         .map(|v| avg_makespan - bl[v] - tl[v])
         .collect();
-    (
-        mean(&slacks),
-        population_std(&slacks),
-        slacks.iter().sum(),
-    )
+    (mean(&slacks), population_std(&slacks), slacks.iter().sum())
 }
 
 #[cfg(test)]
@@ -214,11 +210,7 @@ mod tests {
         // Fork-join with one long and one short branch: the short branch
         // task has positive slack.
         let tg = generators::fork_join(2);
-        let costs = CostMatrix::from_rows(
-            3,
-            2,
-            vec![100.0, 100.0, 1.0, 1.0, 10.0, 10.0],
-        );
+        let costs = CostMatrix::from_rows(3, 2, vec![100.0, 100.0, 1.0, 1.0, 10.0, 10.0]);
         let s = Scenario::new(
             tg,
             Platform::paper_default(2),

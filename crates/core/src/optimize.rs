@@ -17,12 +17,12 @@
 //! The output is a Pareto archive of mutually non-dominated schedules.
 
 use crate::metrics::MetricOptions;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use robusched_platform::Scenario;
 use robusched_randvar::derive_seed;
 use robusched_sched::{heft, random_schedule, Schedule};
 use robusched_stochastic::{evaluate_classic, evaluate_spelde};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One point of the Pareto archive.
 #[derive(Debug, Clone)]
@@ -106,7 +106,12 @@ fn propose(scenario: &Scenario, sched: &Schedule, rng: &mut StdRng) -> Option<Sc
 
 /// Inserts into a Pareto archive, dropping dominated entries. Returns true
 /// when the candidate enters the archive.
-fn archive_insert(archive: &mut Vec<(f64, f64, Schedule)>, e: f64, s: f64, sched: &Schedule) -> bool {
+fn archive_insert(
+    archive: &mut Vec<(f64, f64, Schedule)>,
+    e: f64,
+    s: f64,
+    sched: &Schedule,
+) -> bool {
     const EPS: f64 = 1e-12;
     if archive
         .iter()
@@ -196,7 +201,10 @@ pub fn front_summary(points: &[ParetoPoint], opts: &MetricOptions) -> String {
     let _ = opts;
     let mut out = String::from("E(M)        σ_M\n");
     for p in points {
-        out.push_str(&format!("{:>9.3}  {:>8.4}\n", p.expected_makespan, p.makespan_std));
+        out.push_str(&format!(
+            "{:>9.3}  {:>8.4}\n",
+            p.expected_makespan, p.makespan_std
+        ));
     }
     out
 }

@@ -81,8 +81,10 @@ pub fn run_case(scenario: &Scenario, cfg: &StudyConfig) -> CaseResult {
         let mut slots: Vec<Option<MetricValues>> = vec![None; cfg.random_schedules];
         let chunks: Vec<&mut [Option<MetricValues>]> = slots.chunks_mut(CHUNK).collect();
         let n_chunks = chunks.len();
-        let chunk_slots: Vec<std::sync::Mutex<Option<&mut [Option<MetricValues>]>>> =
-            chunks.into_iter().map(|c| std::sync::Mutex::new(Some(c))).collect();
+        let chunk_slots: Vec<std::sync::Mutex<Option<&mut [Option<MetricValues>]>>> = chunks
+            .into_iter()
+            .map(|c| std::sync::Mutex::new(Some(c)))
+            .collect();
         let next = AtomicUsize::new(0);
         let threads = cfg
             .threads

@@ -235,12 +235,7 @@ pub fn fork_join(n: usize) -> TaskGraph {
     for i in 0..n {
         dag.add_edge(i, n);
     }
-    TaskGraph::new(
-        dag,
-        vec![1.0; n + 1],
-        vec![0.0; n],
-        format!("join-{n}"),
-    )
+    TaskGraph::new(dag, vec![1.0; n + 1], vec![0.0; n], format!("join-{n}"))
 }
 
 /// Diamond: one source, `w` parallel middle tasks, one sink (`w + 2` tasks).
@@ -252,12 +247,7 @@ pub fn diamond(w: usize) -> TaskGraph {
         dag.add_edge(0, i);
         dag.add_edge(i, n - 1);
     }
-    TaskGraph::new(
-        dag,
-        vec![1.0; n],
-        vec![1.0; 2 * w],
-        format!("diamond-{w}"),
-    )
+    TaskGraph::new(dag, vec![1.0; n], vec![1.0; 2 * w], format!("diamond-{w}"))
 }
 
 /// Complete in-tree of the given `depth` and `fanin` (children feed
@@ -343,7 +333,10 @@ mod tests {
         let ccr = tg.realized_ccr() * tg.task_count() as f64 / tg.edge_count() as f64;
         // volumes have mean 2 = 20·0.1; per-edge mean over per-task mean:
         let vol_mean = tg.comm_volume.iter().sum::<f64>() / tg.edge_count() as f64;
-        assert!((vol_mean - 2.0).abs() < 0.3, "mean volume {vol_mean}, ccr {ccr}");
+        assert!(
+            (vol_mean - 2.0).abs() < 0.3,
+            "mean volume {vol_mean}, ccr {ccr}"
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl Dag {
 
     /// The edge id of `u → v`, if present.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        self.succs[u].iter().find(|&&(w, _)| w == v).map(|&(_, e)| e)
+        self.succs[u]
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, e)| e)
     }
 
     /// Endpoints `(u, v)` of edge `e`.
@@ -126,10 +129,8 @@ impl Dag {
         // BinaryHeap over Reverse for O(log n) pops.
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
-        let mut ready: BinaryHeap<Reverse<NodeId>> = (0..n)
-            .filter(|&v| indeg[v] == 0)
-            .map(Reverse)
-            .collect();
+        let mut ready: BinaryHeap<Reverse<NodeId>> =
+            (0..n).filter(|&v| indeg[v] == 0).map(Reverse).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(Reverse(u)) = ready.pop() {
             order.push(u);
@@ -348,7 +349,15 @@ mod tests {
         let mut g = Dag::new(3);
         let e01 = g.add_edge(0, 1);
         let e12 = g.add_edge(1, 2);
-        let w = move |e: EdgeId| if e == e01 { 5.0 } else if e == e12 { 1.0 } else { 0.0 };
+        let w = move |e: EdgeId| {
+            if e == e01 {
+                5.0
+            } else if e == e12 {
+                1.0
+            } else {
+                0.0
+            }
+        };
         let tl = g.top_levels(|_| 2.0, w);
         assert_eq!(tl, vec![0.0, 7.0, 10.0]);
         let bl = g.bottom_levels(|_| 2.0, w);

@@ -24,8 +24,8 @@ pub mod graph;
 pub mod task_graph;
 
 pub use generators::{
-    chain, cholesky, diamond, fork_join, gaussian_elimination, independent, intree,
-    layered_random, LayeredRandomConfig,
+    chain, cholesky, diamond, fork_join, gaussian_elimination, independent, intree, layered_random,
+    LayeredRandomConfig,
 };
 pub use graph::{Dag, EdgeId, NodeId};
 pub use task_graph::TaskGraph;

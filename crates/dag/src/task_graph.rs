@@ -28,7 +28,12 @@ impl TaskGraph {
     /// # Panics
     /// Panics when lengths disagree with the DAG, any weight is negative or
     /// non-finite, or the graph is cyclic.
-    pub fn new(dag: Dag, task_work: Vec<f64>, comm_volume: Vec<f64>, name: impl Into<String>) -> Self {
+    pub fn new(
+        dag: Dag,
+        task_work: Vec<f64>,
+        comm_volume: Vec<f64>,
+        name: impl Into<String>,
+    ) -> Self {
         assert_eq!(
             task_work.len(),
             dag.node_count(),

@@ -88,36 +88,37 @@ const ULS: [f64; 2] = [1.01, 1.1];
 pub fn tier_a(master_seed: u64) -> Vec<Case> {
     let mut cases = Vec::new();
     let mut k = 0u64;
-    let mut push = |family: Family, param: usize, machines: usize, ul: f64, cases: &mut Vec<Case>| {
-        k += 1;
-        let seed = derive_seed(master_seed, k);
-        let c = Case {
-            id: String::new(),
-            family,
-            param,
-            machines,
-            ul,
-            seed,
-            schedules: 0,
+    let mut push =
+        |family: Family, param: usize, machines: usize, ul: f64, cases: &mut Vec<Case>| {
+            k += 1;
+            let seed = derive_seed(master_seed, k);
+            let c = Case {
+                id: String::new(),
+                family,
+                param,
+                machines,
+                ul,
+                seed,
+                schedules: 0,
+            };
+            let n = c.task_count();
+            let id = format!(
+                "{}-n{}-m{}-ul{}",
+                match family {
+                    Family::Random => format!("rand{k}"),
+                    Family::Cholesky => "chol".to_string(),
+                    Family::GaussianElimination => "ge".to_string(),
+                },
+                n,
+                machines,
+                ul
+            );
+            cases.push(Case {
+                id,
+                schedules: schedules_for(n),
+                ..c
+            });
         };
-        let n = c.task_count();
-        let id = format!(
-            "{}-n{}-m{}-ul{}",
-            match family {
-                Family::Random => format!("rand{k}"),
-                Family::Cholesky => "chol".to_string(),
-                Family::GaussianElimination => "ge".to_string(),
-            },
-            n,
-            machines,
-            ul
-        );
-        cases.push(Case {
-            id,
-            schedules: schedules_for(n),
-            ..c
-        });
-    };
     for ul in ULS {
         // Random: (n, m) in the paper's figure configurations, 2 replicas.
         for (n, m) in [(10, 3), (30, 8), (100, 16)] {
@@ -175,7 +176,11 @@ pub fn tier_b(master_seed: u64) -> Vec<Case> {
             cases.push(Case {
                 id: format!(
                     "{}B-n{}-m16-ul{}",
-                    if family == Family::Cholesky { "chol" } else { "ge" },
+                    if family == Family::Cholesky {
+                        "chol"
+                    } else {
+                        "ge"
+                    },
                     n,
                     ul
                 ),

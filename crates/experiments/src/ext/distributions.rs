@@ -53,7 +53,10 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Vec<FamilyResult>> {
             );
             sl.push(res.pearson.get(idx("makespan_std"), idx("avg_lateness")));
             sa.push(res.pearson.get(idx("makespan_std"), idx("abs_prob")));
-            se.push(res.pearson.get(idx("makespan_std"), idx("makespan_entropy")));
+            se.push(
+                res.pearson
+                    .get(idx("makespan_std"), idx("makespan_entropy")),
+            );
         }
         out.push(FamilyResult {
             kind,

@@ -167,8 +167,7 @@ pub fn paper_comparison(f: &Fig6) -> String {
         ("avg_lateness", "abs_prob", 0.981),
         ("makespan_std", "rel_prob", 0.148),
     ];
-    let mut out =
-        String::from("pair,paper_mean,measured_mean,measured_std\n");
+    let mut out = String::from("pair,paper_mean,measured_mean,measured_std\n");
     for (a, b, paper) in rows {
         out.push_str(&format!(
             "{a}~{b},{paper:.3},{:.3},{:.3}\n",

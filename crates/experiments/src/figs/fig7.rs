@@ -80,12 +80,11 @@ mod tests {
         let f = run(&opts).unwrap();
         // Numerical mean of the special density equals the declared mean.
         let h = f.xs[1] - f.xs[0];
-        let m: f64 = f
-            .xs
-            .iter()
-            .zip(&f.special_pdf)
-            .map(|(x, p)| x * p * h)
-            .sum();
+        let m: f64 =
+            f.xs.iter()
+                .zip(&f.special_pdf)
+                .map(|(x, p)| x * p * h)
+                .sum();
         assert!((m - f.mean).abs() < 0.05, "mean {m} vs {}", f.mean);
         // The special distribution is far from normal pointwise.
         let max_gap = f

@@ -29,10 +29,7 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Vec<Point>> {
         if k > 1 {
             acc = acc.sum(&base);
         }
-        let normal = DiscreteRv::from_dist(
-            &Normal::new(acc.mean(), acc.std_dev().max(1e-12)),
-            256,
-        );
+        let normal = DiscreteRv::from_dist(&Normal::new(acc.mean(), acc.std_dev().max(1e-12)), 256);
         points.push(Point {
             k,
             ks: acc.ks_distance(&normal),
@@ -50,7 +47,9 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Vec<Point>> {
 
 /// Human-readable rendering.
 pub fn render(points: &[Point]) -> String {
-    let mut out = String::from("Fig. 8 — normal-approximation precision after k self-sums\n  k      KS        CM\n");
+    let mut out = String::from(
+        "Fig. 8 — normal-approximation precision after k self-sums\n  k      KS        CM\n",
+    );
     for p in points {
         out.push_str(&format!("{:>3}  {:>8.5}  {:>8.5}\n", p.k, p.ks, p.cm));
     }

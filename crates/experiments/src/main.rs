@@ -9,8 +9,8 @@
 //! case, 100 000 Monte-Carlo realizations. `--scale 0.01` gives a smoke
 //! run in seconds. CSVs land in `--out` (default `results/`).
 
-use robusched_experiments::{ext, figs};
 use robusched_experiments::RunOptions;
+use robusched_experiments::{ext, figs};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -47,7 +47,9 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                opts.out_dir = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
+                opts.out_dir = Some(PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
             }
             "--no-out" => opts.out_dir = None,
             other => {
@@ -80,7 +82,9 @@ fn main() {
             "ext-dist" => {
                 ext::distributions::render(&ext::distributions::run(opts).expect("ext-dist failed"))
             }
-            "ext-pareto" => ext::pareto::render(&ext::pareto::run(opts).expect("ext-pareto failed")),
+            "ext-pareto" => {
+                ext::pareto::render(&ext::pareto::run(opts).expect("ext-pareto failed"))
+            }
             "ext-grid" => ext::grid_resolution::render(
                 &ext::grid_resolution::run(opts).expect("ext-grid failed"),
             ),

@@ -253,7 +253,9 @@ mod tests {
     #[test]
     fn parseval_energy_preserved() {
         let n = 32;
-        let input: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).sqrt(), 0.0)).collect();
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sqrt(), 0.0))
+            .collect();
         let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
         let mut freq = input.clone();
         fft_inplace(&mut freq);

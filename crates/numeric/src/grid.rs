@@ -21,13 +21,7 @@ pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     }
     let step = (hi - lo) / (n - 1) as f64;
     (0..n)
-        .map(|i| {
-            if i == n - 1 {
-                hi
-            } else {
-                lo + step * i as f64
-            }
-        })
+        .map(|i| if i == n - 1 { hi } else { lo + step * i as f64 })
         .collect()
 }
 

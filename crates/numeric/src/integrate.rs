@@ -84,9 +84,7 @@ pub fn integrate_fn<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
     assert!(n >= 2, "need at least two sample points");
     assert!(b >= a, "inverted interval");
     let h = (b - a) / (n - 1) as f64;
-    let y: Vec<f64> = (0..n)
-        .map(|i| f(a + h * i as f64))
-        .collect();
+    let y: Vec<f64> = (0..n).map(|i| f(a + h * i as f64)).collect();
     simpson_uniform(&y, h)
 }
 
@@ -147,7 +145,11 @@ mod tests {
         let cum = cumulative_trapezoid(&y, h);
         assert_eq!(cum.len(), y.len());
         assert_eq!(cum[0], 0.0);
-        assert!(approx_eq(*cum.last().unwrap(), trapezoid_uniform(&y, h), 1e-12));
+        assert!(approx_eq(
+            *cum.last().unwrap(),
+            trapezoid_uniform(&y, h),
+            1e-12
+        ));
     }
 
     #[test]

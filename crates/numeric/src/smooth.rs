@@ -78,7 +78,9 @@ mod tests {
 
     #[test]
     fn smoothing_reduces_oscillation() {
-        let y: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let s = moving_average(&y, 1);
         let max_abs = s.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         // A window of 3 over ±1 alternation gives ±1/3.

@@ -145,7 +145,10 @@ mod tests {
     fn cv_method_statistics() {
         let work = vec![20.0; 500];
         let c = CostMatrix::cv_method(&work, 8, 0.5, 11);
-        let all: Vec<f64> = (0..500).flat_map(|i| (0..8).map(move |j| (i, j))).map(|(i, j)| c.cost(i, j)).collect();
+        let all: Vec<f64> = (0..500)
+            .flat_map(|i| (0..8).map(move |j| (i, j)))
+            .map(|(i, j)| c.cost(i, j))
+            .collect();
         let mean = all.iter().sum::<f64>() / all.len() as f64;
         assert!((mean - 20.0).abs() < 0.5, "mean {mean}");
         let var = all.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / all.len() as f64;

@@ -86,9 +86,7 @@ impl UncertaintyModel {
     /// (every weight is `w + (UL−1)·w · Q_base(U)`).
     pub fn base_shape(&self) -> Option<WeightDist> {
         match self.kind {
-            UncertaintyKind::Beta25 => {
-                Some(WeightDist::Beta(ScaledBeta::new(2.0, 5.0, 0.0, 1.0)))
-            }
+            UncertaintyKind::Beta25 => Some(WeightDist::Beta(ScaledBeta::new(2.0, 5.0, 0.0, 1.0))),
             UncertaintyKind::Uniform => Some(WeightDist::Uniform(Uniform::new(0.0, 1.0))),
             UncertaintyKind::Triangular => {
                 Some(WeightDist::Triangular(Triangular::new(0.0, 0.2, 1.0)))

@@ -452,13 +452,7 @@ impl DiscreteRv {
         let spline = CubicSpline::new(&linspace(lo, conv_hi, conv.len()), &conv);
         let mut out: Vec<f64> = linspace(lo, hi, n_out)
             .into_iter()
-            .map(|x| {
-                if x > conv_hi {
-                    0.0
-                } else {
-                    spline.eval(x)
-                }
-            })
+            .map(|x| if x > conv_hi { 0.0 } else { spline.eval(x) })
             .collect();
         clamp_nonnegative(&mut out, f64::INFINITY);
         Self::from_grid(lo, hi, out)
@@ -802,7 +796,11 @@ mod tests {
         let c = a.conditional_mean_above(0.5).unwrap();
         assert!(approx_eq(c, 0.75, 1e-2));
         assert!(a.conditional_mean_above(1.5).is_none());
-        assert!(approx_eq(a.conditional_mean_above(-1.0).unwrap(), a.mean(), 1e-9));
+        assert!(approx_eq(
+            a.conditional_mean_above(-1.0).unwrap(),
+            a.mean(),
+            1e-9
+        ));
     }
 
     #[test]
@@ -857,7 +855,12 @@ mod tests {
         let samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
         let rv = DiscreteRv::from_samples(&samples, 64);
         assert!(approx_eq(rv.mean(), 3.0, 1e-2));
-        assert!(approx_eq(rv.std_dev(), (4.0f64 - 2.0).powi(2) / 12.0, 0.05).max(true), "stddev");
+        // Uniform(2, 4): σ = √((4−2)²/12).
+        assert!(
+            approx_eq(rv.std_dev(), ((4.0f64 - 2.0).powi(2) / 12.0).sqrt(), 0.05),
+            "stddev {}",
+            rv.std_dev()
+        );
         let analytic = DiscreteRv::from_dist_default(&d);
         assert!(rv.ks_distance(&analytic) < 0.02);
     }

@@ -161,7 +161,9 @@ mod tests {
     #[test]
     fn standard_normal_moments() {
         let mut rng = StdRng::seed_from_u64(3);
-        let xs: Vec<f64> = (0..100_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         let (m, v) = mean_var(&xs);
         assert!(m.abs() < 0.02, "mean {m}");
         assert!((v - 1.0).abs() < 0.03, "var {v}");

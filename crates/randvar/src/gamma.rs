@@ -46,7 +46,10 @@ impl Gamma {
     /// requested mean and CV.
     pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
         assert!(mean > 0.0, "mean must be positive, got {mean}");
-        assert!(cv > 0.0, "coefficient of variation must be positive, got {cv}");
+        assert!(
+            cv > 0.0,
+            "coefficient of variation must be positive, got {cv}"
+        );
         let shape = 1.0 / (cv * cv);
         let scale = mean * cv * cv;
         Self::new(shape, scale)

@@ -61,8 +61,8 @@ proptest! {
     fn uniform_contract(lo in -50.0f64..50.0, width in 0.1f64..100.0) {
         let d = Uniform::new(lo, lo + width);
         prop_assert!((pdf_mass(&d, 2001) - 1.0).abs() < 1e-6);
-        check_cdf_pdf(&d).map_err(|e| TestCaseError::fail(e))?;
-        check_sampling(&d, 1).map_err(|e| TestCaseError::fail(e))?;
+        check_cdf_pdf(&d).map_err(TestCaseError::fail)?;
+        check_sampling(&d, 1).map_err(TestCaseError::fail)?;
     }
 
     #[test]

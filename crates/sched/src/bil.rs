@@ -91,9 +91,7 @@ pub fn bil(scenario: &Scenario) -> Schedule {
             let mut sorted = bims.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let score = sorted[k - 1];
-            if score > chosen_score
-                || (score == chosen_score && ready[idx] < ready[chosen_idx])
-            {
+            if score > chosen_score || (score == chosen_score && ready[idx] < ready[chosen_idx]) {
                 chosen_score = score;
                 chosen_idx = idx;
             }

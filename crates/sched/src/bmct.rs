@@ -198,7 +198,10 @@ mod tests {
         );
         let sched = hyb_bmct(&s);
         let ms = det_makespan(&s, &sched);
-        assert!((ms - 2.0).abs() < 1e-9, "expected balanced makespan 2, got {ms}");
+        assert!(
+            (ms - 2.0).abs() < 1e-9,
+            "expected balanced makespan 2, got {ms}"
+        );
     }
 
     #[test]
@@ -239,9 +242,9 @@ mod tests {
         assert!(ms >= 6.0 - 1e-9);
     }
 
-    use robusched_platform::Scenario;
     #[allow(unused_imports)]
     use robusched_dag::Dag;
+    use robusched_platform::Scenario;
     #[allow(unused_imports)]
     use TaskGraph as _TG;
 }

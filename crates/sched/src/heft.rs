@@ -88,7 +88,10 @@ mod tests {
         let heft_ms = det_makespan(&s, &sched);
         // Sequential baseline: everything on machine 0 in topo order.
         let topo = s.graph.dag.topo_order().unwrap();
-        let seq = Schedule::new(vec![0; 30], vec![topo, vec![], vec![], vec![], vec![], vec![], vec![], vec![]]);
+        let seq = Schedule::new(
+            vec![0; 30],
+            vec![topo, vec![], vec![], vec![], vec![], vec![], vec![], vec![]],
+        );
         let seq_ms = det_makespan(&s, &seq);
         assert!(
             heft_ms < seq_ms,

@@ -41,8 +41,8 @@ pub use cpop::cpop;
 pub use eager::{EagerPlan, ExecResult};
 pub use heft::heft;
 pub use random::random_schedule;
-pub use robust::sigma_heft;
 pub use rank::{downward_ranks, upward_ranks};
+pub use robust::sigma_heft;
 pub use schedule::{Schedule, ScheduleError};
 
 use robusched_platform::Scenario;

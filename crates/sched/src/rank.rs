@@ -62,8 +62,8 @@ pub fn tasks_by_decreasing_rank(ranks: &[f64]) -> Vec<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use robusched_platform::{CostMatrix, Platform, Scenario, UncertaintyModel};
     use robusched_dag::{Dag, TaskGraph};
+    use robusched_platform::{CostMatrix, Platform, Scenario, UncertaintyModel};
 
     /// Chain 0 → 1 → 2 with unit comm volumes, homogeneous costs.
     fn chain_scenario() -> Scenario {

@@ -34,7 +34,10 @@ fn risk_cost(scenario: &Scenario, v: usize, p: usize, kappa: f64) -> f64 {
 /// Machine-averaged risk-adjusted cost (rank ingredient).
 fn avg_risk_cost(scenario: &Scenario, v: usize, kappa: f64) -> f64 {
     let m = scenario.machine_count();
-    (0..m).map(|p| risk_cost(scenario, v, p, kappa)).sum::<f64>() / m as f64
+    (0..m)
+        .map(|p| risk_cost(scenario, v, p, kappa))
+        .sum::<f64>()
+        / m as f64
 }
 
 /// Upward ranks on risk-adjusted costs.
@@ -151,7 +154,13 @@ mod tests {
             let n = base.task_count();
             // Half the tasks are wildly uncertain, half are nearly exact.
             let uls: Vec<f64> = (0..n)
-                .map(|v| if derive_seed(seed, v as u64).is_multiple_of(2) { 1.8 } else { 1.01 })
+                .map(|v| {
+                    if derive_seed(seed, v as u64).is_multiple_of(2) {
+                        1.8
+                    } else {
+                        1.01
+                    }
+                })
                 .collect();
             let s = base.with_per_task_ul(uls);
             let heft_sched = crate::heft(&s);

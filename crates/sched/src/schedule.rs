@@ -33,7 +33,9 @@ impl std::fmt::Display for ScheduleError {
         match self {
             Self::TaskOutOfRange(t) => write!(f, "task {t} out of range"),
             Self::TaskCountMismatch(t) => write!(f, "task {t} not listed exactly once"),
-            Self::WrongMachine(t) => write!(f, "task {t} listed on a machine it is not assigned to"),
+            Self::WrongMachine(t) => {
+                write!(f, "task {t} listed on a machine it is not assigned to")
+            }
             Self::MachineOutOfRange(m) => write!(f, "machine {m} out of range"),
             Self::Deadlock => write!(f, "schedule order conflicts with precedence (deadlock)"),
         }
@@ -217,12 +219,7 @@ mod tests {
     #[test]
     fn coherent_schedule_accepted() {
         let dag = diamond();
-        let s = Schedule::try_new(
-            vec![0, 0, 1, 1],
-            vec![vec![0, 1], vec![2, 3]],
-            &dag,
-        )
-        .unwrap();
+        let s = Schedule::try_new(vec![0, 0, 1, 1], vec![vec![0, 1], vec![2, 3]], &dag).unwrap();
         assert_eq!(s.machine_of(2), 1);
         assert_eq!(s.order_on(0), &[0, 1]);
         assert_eq!(s.predecessor_on_machine(1), Some(0));
@@ -234,12 +231,7 @@ mod tests {
     fn deadlock_detected() {
         // Machine order 3 before 0 on the same machine contradicts 0 →* 3.
         let dag = diamond();
-        let err = Schedule::try_new(
-            vec![0, 0, 0, 0],
-            vec![vec![3, 0, 1, 2]],
-            &dag,
-        )
-        .unwrap_err();
+        let err = Schedule::try_new(vec![0, 0, 0, 0], vec![vec![3, 0, 1, 2]], &dag).unwrap_err();
         assert_eq!(err, ScheduleError::Deadlock);
     }
 
@@ -247,35 +239,21 @@ mod tests {
     fn order_against_precedence_on_different_machines_ok() {
         // 1 and 2 are independent: any relative order is fine.
         let dag = diamond();
-        assert!(Schedule::try_new(
-            vec![0, 1, 1, 0],
-            vec![vec![0, 3], vec![2, 1]],
-            &dag
-        )
-        .is_ok());
+        assert!(Schedule::try_new(vec![0, 1, 1, 0], vec![vec![0, 3], vec![2, 1]], &dag).is_ok());
     }
 
     #[test]
     fn wrong_machine_rejected() {
         let dag = diamond();
-        let err = Schedule::try_new(
-            vec![0, 0, 1, 1],
-            vec![vec![0, 1, 2], vec![3]],
-            &dag,
-        )
-        .unwrap_err();
+        let err =
+            Schedule::try_new(vec![0, 0, 1, 1], vec![vec![0, 1, 2], vec![3]], &dag).unwrap_err();
         assert_eq!(err, ScheduleError::WrongMachine(2));
     }
 
     #[test]
     fn missing_task_rejected() {
         let dag = diamond();
-        let err = Schedule::try_new(
-            vec![0, 0, 0, 0],
-            vec![vec![0, 1, 2]],
-            &dag,
-        )
-        .unwrap_err();
+        let err = Schedule::try_new(vec![0, 0, 0, 0], vec![vec![0, 1, 2]], &dag).unwrap_err();
         assert!(matches!(err, ScheduleError::TaskCountMismatch(_)));
     }
 

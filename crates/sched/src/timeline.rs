@@ -50,9 +50,7 @@ impl ProcTimeline {
     /// Panics (in debug) if the new interval overlaps an existing one.
     pub fn insert(&mut self, start: f64, dur: f64, task: NodeId) {
         let end = start + dur;
-        let pos = self
-            .intervals
-            .partition_point(|&(s, _, _)| s < start);
+        let pos = self.intervals.partition_point(|&(s, _, _)| s < start);
         debug_assert!(
             pos == 0 || self.intervals[pos - 1].1 <= start + 1e-9,
             "overlap with previous interval"

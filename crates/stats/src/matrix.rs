@@ -27,10 +27,7 @@ impl CorrMatrix {
         let k = columns.len();
         assert!(k >= 1, "need at least one column");
         let rows = columns[0].len();
-        assert!(
-            columns.iter().all(|c| c.len() == rows),
-            "ragged columns"
-        );
+        assert!(columns.iter().all(|c| c.len() == rows), "ragged columns");
         let mut values = vec![0.0; k * k];
         for i in 0..k {
             values[i * k + i] = 1.0;

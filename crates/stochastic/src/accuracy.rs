@@ -70,6 +70,11 @@ mod tests {
         let r1 = compare(&narrow_rv, &s1);
         let r2 = compare(&wide_rv, &s2);
         assert!((r1.ks - r2.ks).abs() < 0.2);
-        assert!(r2.cm > 10.0 * r1.cm, "cm should scale: {} vs {}", r1.cm, r2.cm);
+        assert!(
+            r2.cm > 10.0 * r1.cm,
+            "cm should scale: {} vs {}",
+            r1.cm,
+            r2.cm
+        );
     }
 }

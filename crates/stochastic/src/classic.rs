@@ -26,11 +26,7 @@ pub fn evaluate_classic(scenario: &Scenario, schedule: &Schedule) -> DiscreteRv 
 }
 
 /// Same as [`evaluate_classic`] with an explicit grid resolution.
-pub fn evaluate_classic_grid(
-    scenario: &Scenario,
-    schedule: &Schedule,
-    grid: usize,
-) -> DiscreteRv {
+pub fn evaluate_classic_grid(scenario: &Scenario, schedule: &Schedule, grid: usize) -> DiscreteRv {
     evaluate_classic_full(scenario, schedule, grid).1
 }
 
@@ -142,7 +138,11 @@ mod tests {
         // Variance adds: (UL−1)²·wᵢ² · Var(Beta) each.
         let beta_var = 10.0 / (49.0 * 8.0);
         let expect_var = (1.0 + 4.0 + 9.0) * beta_var;
-        assert!(approx_eq(rv.variance(), expect_var, 5e-2), "{}", rv.variance());
+        assert!(
+            approx_eq(rv.variance(), expect_var, 5e-2),
+            "{}",
+            rv.variance()
+        );
     }
 
     #[test]

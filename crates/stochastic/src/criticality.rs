@@ -10,12 +10,12 @@
 //! backwards from the makespan-defining task.
 
 use crossbeam::thread;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use robusched_platform::Scenario;
 use robusched_randvar::dist::uniform01;
 use robusched_randvar::{derive_seed, QuantileTable};
 use robusched_sched::{EagerPlan, Schedule};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Timing comparison tolerance when matching the binding constraint.
@@ -84,13 +84,17 @@ pub fn criticality_indices(
                         // Sample and execute.
                         for (v, &(lo, span)) in task_affine.iter().enumerate() {
                             dur[v] = match &table {
-                                Some(t) if span > 0.0 => lo + span * t.quantile(uniform01(&mut rng)),
+                                Some(t) if span > 0.0 => {
+                                    lo + span * t.quantile(uniform01(&mut rng))
+                                }
                                 _ => lo,
                             };
                         }
                         for (e, &(lo, span)) in edge_affine.iter().enumerate() {
                             comm[e] = match &table {
-                                Some(t) if span > 0.0 => lo + span * t.quantile(uniform01(&mut rng)),
+                                Some(t) if span > 0.0 => {
+                                    lo + span * t.quantile(uniform01(&mut rng))
+                                }
                                 _ => lo,
                             };
                         }

@@ -314,13 +314,15 @@ mod tests {
             costs,
             UncertaintyModel::paper(1.5),
         );
-        let sched = Schedule::new(
-            vec![0, 1, 2, 0],
-            vec![vec![0, 3], vec![1], vec![2]],
-        );
+        let sched = Schedule::new(vec![0, 1, 2, 0], vec![vec![0, 3], vec![1], vec![2]]);
         let d = evaluate_dodin(&s, &sched, 64);
         let c = evaluate_classic(&s, &sched);
-        assert!(approx_eq(d.mean(), c.mean(), 1e-2), "{} vs {}", d.mean(), c.mean());
+        assert!(
+            approx_eq(d.mean(), c.mean(), 1e-2),
+            "{} vs {}",
+            d.mean(),
+            c.mean()
+        );
         assert!((d.std_dev() - c.std_dev()).abs() < 0.05 * c.std_dev().max(0.1));
     }
 

@@ -17,12 +17,12 @@
 //!   steal chunks, so results are bit-identical for any thread count.
 
 use crossbeam::thread;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use robusched_platform::Scenario;
 use robusched_randvar::dist::uniform01;
 use robusched_randvar::{derive_seed, QuantileTable};
 use robusched_sched::{EagerPlan, Schedule};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Monte-Carlo configuration.

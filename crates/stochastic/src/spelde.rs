@@ -167,7 +167,10 @@ mod tests {
     #[test]
     fn clark_max_symmetric_case() {
         // max of two standard normals: mean 1/√π, var 1 − 1/π.
-        let a = MomentPair { mean: 0.0, var: 1.0 };
+        let a = MomentPair {
+            mean: 0.0,
+            var: 1.0,
+        };
         let m = a.max(a);
         assert!(approx_eq(m.mean, 1.0 / std::f64::consts::PI.sqrt(), 1e-10));
         assert!(approx_eq(m.var, 1.0 - 1.0 / std::f64::consts::PI, 1e-10));
@@ -176,8 +179,14 @@ mod tests {
     #[test]
     fn clark_max_dominant_operand() {
         // A hugely larger mean dominates: max ≈ the larger one.
-        let a = MomentPair { mean: 100.0, var: 1.0 };
-        let b = MomentPair { mean: 0.0, var: 1.0 };
+        let a = MomentPair {
+            mean: 100.0,
+            var: 1.0,
+        };
+        let b = MomentPair {
+            mean: 0.0,
+            var: 1.0,
+        };
         let m = a.max(b);
         assert!(approx_eq(m.mean, 100.0, 1e-6));
         assert!(approx_eq(m.var, 1.0, 1e-4));

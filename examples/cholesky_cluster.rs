@@ -87,11 +87,7 @@ fn main() {
     );
 
     // Evaluator cross-validation on the recommended schedule.
-    let sched = &candidates
-        .iter()
-        .find(|(n, _)| *n == pick.0)
-        .unwrap()
-        .1;
+    let sched = &candidates.iter().find(|(n, _)| *n == pick.0).unwrap().1;
     let classic = evaluate_classic(&scenario, sched);
     let spelde = evaluate_spelde(&scenario, sched);
     let dodin = evaluate_dodin(&scenario, sched, 64);
@@ -105,12 +101,27 @@ fn main() {
     );
     let mc_mean = mc.iter().sum::<f64>() / mc.len() as f64;
     let mc_std = {
-        let v = mc.iter().map(|x| (x - mc_mean) * (x - mc_mean)).sum::<f64>() / mc.len() as f64;
+        let v = mc
+            .iter()
+            .map(|x| (x - mc_mean) * (x - mc_mean))
+            .sum::<f64>()
+            / mc.len() as f64;
         v.sqrt()
     };
     println!("\nevaluator agreement on the recommended schedule:");
-    println!("  classic:     mean {:.3}, std {:.4}", classic.mean(), classic.std_dev());
-    println!("  Spelde CLT:  mean {:.3}, std {:.4}", spelde.mean, spelde.std_dev);
-    println!("  Dodin:       mean {:.3}, std {:.4}", dodin.mean(), dodin.std_dev());
+    println!(
+        "  classic:     mean {:.3}, std {:.4}",
+        classic.mean(),
+        classic.std_dev()
+    );
+    println!(
+        "  Spelde CLT:  mean {:.3}, std {:.4}",
+        spelde.mean, spelde.std_dev
+    );
+    println!(
+        "  Dodin:       mean {:.3}, std {:.4}",
+        dodin.mean(),
+        dodin.std_dev()
+    );
     println!("  Monte-Carlo: mean {mc_mean:.3}, std {mc_std:.4}  (30k realizations)");
 }

@@ -31,12 +31,19 @@ pub use robusched_stats as stats;
 pub use robusched_stochastic as stochastic;
 
 /// Workspace version, for `--version` style reporting from examples.
+///
+/// Every member crate inherits `[workspace.package] version` from the root
+/// `Cargo.toml`, so this facade constant is the version of the whole
+/// workspace, not just of the facade crate.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 #[cfg(test)]
 mod tests {
     #[test]
-    fn version_is_nonempty() {
-        assert!(!super::VERSION.is_empty());
+    fn version_matches_workspace_package_version() {
+        // `[workspace.package]` pins 0.1.0 for every member; the facade
+        // constant must track it (a mismatch means a manifest stopped
+        // inheriting `version.workspace = true`).
+        assert_eq!(super::VERSION, "0.1.0");
     }
 }

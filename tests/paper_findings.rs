@@ -31,7 +31,12 @@ fn finding_1_the_equivalence_cluster() {
     // related.
     let res = study(20, 4, 1.1, 1, 400);
     let p = &res.pearson;
-    let cluster = ["makespan_std", "makespan_entropy", "avg_lateness", "abs_prob"];
+    let cluster = [
+        "makespan_std",
+        "makespan_entropy",
+        "avg_lateness",
+        "abs_prob",
+    ];
     for a in cluster {
         for b in cluster {
             if a != b {
@@ -84,8 +89,7 @@ fn finding_4_relative_prob_needs_normalization() {
         },
     );
     let raw = res.pearson.get(idx("rel_prob"), idx("makespan_std"));
-    let normalized =
-        robusched::experiments::figs::fig6::rel_by_makespan_correlation(&res.random);
+    let normalized = robusched::experiments::figs::fig6::rel_by_makespan_correlation(&res.random);
     assert!(
         normalized > raw + 0.1,
         "normalization should strengthen the correlation: raw {raw}, normalized {normalized}"
@@ -125,7 +129,11 @@ fn finding_6_clt_explains_the_equivalence() {
     let base = DiscreteRv::from_dist(&ConcatBeta::paper_special(), 128);
     let s5 = base.self_sum(5);
     let n5 = DiscreteRv::from_dist(&Normal::new(s5.mean(), s5.std_dev()), 256);
-    assert!(s5.ks_distance(&n5) < 0.02, "5 sums: {}", s5.ks_distance(&n5));
+    assert!(
+        s5.ks_distance(&n5) < 0.02,
+        "5 sums: {}",
+        s5.ks_distance(&n5)
+    );
     let s10 = base.self_sum(10);
     let n10 = DiscreteRv::from_dist(&Normal::new(s10.mean(), s10.std_dev()), 256);
     assert!(
@@ -139,15 +147,17 @@ fn finding_6_clt_explains_the_equivalence() {
 fn finding_7_max_of_iid_concentrates() {
     // §VII's argument for schedule a) of Fig. 9: the maximum of many i.i.d.
     // variables has smaller and smaller spread.
-    let one = DiscreteRv::from_dist_default(&robusched::randvar::ScaledBeta::paper_default(
-        10.0, 1.5,
-    ));
+    let one =
+        DiscreteRv::from_dist_default(&robusched::randvar::ScaledBeta::paper_default(10.0, 1.5));
     let mut acc = one.clone();
     let mut prev_std = acc.std_dev();
     for _ in 0..4 {
         acc = acc.max(&one);
         let s = acc.std_dev();
-        assert!(s <= prev_std + 1e-9, "max should not spread: {s} > {prev_std}");
+        assert!(
+            s <= prev_std + 1e-9,
+            "max should not spread: {s} > {prev_std}"
+        );
         prev_std = s;
     }
     assert!(prev_std < 0.8 * one.std_dev());

@@ -48,7 +48,11 @@ fn metrics_well_defined_for_many_random_schedules() {
         assert!(m.avg_slack <= m.expected_makespan + 1e-9);
         // E(M) of the analytic RV is at least the deterministic makespan.
         let det = det_makespan(&s, &sched);
-        assert!(m.expected_makespan >= det - 1e-9, "E {} < det {det}", m.expected_makespan);
+        assert!(
+            m.expected_makespan >= det - 1e-9,
+            "E {} < det {det}",
+            m.expected_makespan
+        );
     }
 }
 

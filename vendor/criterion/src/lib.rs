@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API the workspace's benches use — benchmark groups,
+//! `Bencher::iter` / `iter_batched`, `sample_size`, the `criterion_group!` /
+//! `criterion_main!` macros — with a simple wall-clock measurement loop:
+//! calibrate an iteration count to a minimum measurement window, take
+//! several samples, report the median per-iteration time.
+//!
+//! Output goes to stdout, one line per benchmark. When the `BENCH_JSON`
+//! environment variable names a file, one JSON object
+//! `{"name": …, "ns_per_iter": …}` per benchmark is appended there (JSON
+//! Lines, so the kernels and figures binaries can share one file); the
+//! repo-root `BENCH_baseline.json` wraps such a dump with metadata.
+//!
+//! Not implemented (silently absent, not stubbed with panics): statistical
+//! outlier analysis, HTML reports, comparison against saved baselines.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum time one measurement sample should cover.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(20);
+/// Measurement samples per benchmark (median is reported).
+const SAMPLES: usize = 7;
+
+/// How batched inputs are grouped; only the call shape is honored.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The measurement driver passed to bench closures.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f` over a calibrated number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: double the iteration count until one batch fills the
+        // sample window (slow routines settle at 1 iteration immediately).
+        let mut n: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= SAMPLE_WINDOW || n >= 1 << 24 {
+                break;
+            }
+            n = if elapsed.is_zero() {
+                n * 16
+            } else {
+                (n * 2).max((n as f64 * SAMPLE_WINDOW.as_secs_f64() / elapsed.as_secs_f64()) as u64)
+            };
+        }
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..n {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / n as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One timed call per sample; setup stays outside the timer.
+        let mut samples: Vec<f64> = Vec::new();
+        while samples.len() < SAMPLES {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub name: String,
+    pub ns_per_iter: f64,
+}
+
+/// The harness entry object handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group: name.into(),
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: String, mut f: F) {
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        println!("bench: {name:<50} {:>14}/iter", format_ns(b.ns_per_iter));
+        self.results.push(Measurement {
+            name,
+            ns_per_iter: b.ns_per_iter,
+        });
+    }
+
+    /// Honors `BENCH_JSON`: appends one JSON object per benchmark, one per
+    /// line (JSON Lines — append-safe when several bench binaries share a
+    /// target file).
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                let mut out = String::new();
+                for m in &self.results {
+                    out.push_str(&format!(
+                        "{{\"name\": \"{}\", \"ns_per_iter\": {:.1}}}\n",
+                        m.name, m.ns_per_iter
+                    ));
+                }
+                if let Err(e) = append_json(&path, &out) {
+                    eprintln!("criterion stub: cannot write {path}: {e}");
+                }
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn append_json(path: &str, content: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(content.as_bytes())
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes samples itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.group, id.into());
+        self.criterion.run_one(name, f);
+        self
+    }
+
+    /// Ends the group (no-op; recorded results live on the `Criterion`).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` (and possibly filters); the stub
+            // runs everything regardless.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].ns_per_iter.is_finite());
+        assert!(c.results[0].ns_per_iter > 0.0);
+        assert_eq!(c.results[0].name, "g/sum");
+    }
+
+    #[test]
+    fn iter_batched_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1.0f64; 256],
+                |v| v.iter().sum::<f64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(c.results[0].ns_per_iter.is_finite());
+    }
+}
