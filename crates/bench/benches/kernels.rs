@@ -1,7 +1,9 @@
 //! Kernel benchmarks: the numeric and scheduling hot paths.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use robusched_bench::{bench_scenario, bench_scenario_medium, bench_schedule};
+use robusched_bench::{bench_app_scenario, bench_scenario, bench_scenario_medium, bench_schedule};
+use robusched_core::{run_case, StudyConfig};
+use robusched_dag::apps::AppClass;
 use robusched_numeric::convolution::{convolve_direct, convolve_fft, convolve_overlap_add};
 use robusched_randvar::{DiscreteRv, ScaledBeta};
 use robusched_sched::{bil, cpop, heft, hyb_bmct, random_schedule, sigma_heft};
@@ -77,6 +79,37 @@ fn grid_resolution_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+/// Structured-application workloads: cost of the heaviest generator (LU
+/// grows as `Θ(n³)` tasks — 1 496 at n = 16) and of a complete `run_case`
+/// over a Cholesky application scenario.
+fn app_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext-apps");
+    g.bench_function("lu-generate-n16", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            AppClass::Lu.generate(black_box(16), seed)
+        })
+    });
+    let s = bench_app_scenario();
+    g.sample_size(10);
+    g.bench_function("run-case-cholesky-36t", |b| {
+        b.iter(|| {
+            run_case(
+                black_box(&s),
+                &StudyConfig {
+                    random_schedules: 32,
+                    seed: 5,
+                    with_heuristics: false,
+                    threads: Some(1),
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
 fn evaluators(c: &mut Criterion) {
     let s = bench_scenario();
     let sched = bench_schedule(&s);
@@ -111,6 +144,7 @@ criterion_group!(
     rv_calculus,
     heuristics,
     evaluators,
-    grid_resolution_ablation
+    grid_resolution_ablation,
+    app_workloads
 );
 criterion_main!(kernels);

@@ -10,6 +10,7 @@
 //!
 //! Shared fixtures live here so individual bench files stay declarative.
 
+use robusched_dag::apps::AppClass;
 use robusched_platform::Scenario;
 use robusched_sched::{heft, Schedule};
 
@@ -29,6 +30,12 @@ pub fn bench_schedule(s: &Scenario) -> Schedule {
     heft(s)
 }
 
+/// A structured-application scenario: Cholesky matrix size 8 (36 tasks) on
+/// 4 consistently heterogeneous machines.
+pub fn bench_app_scenario() -> Scenario {
+    Scenario::structured_app(AppClass::Cholesky.generate(8, 7), 4, 0.5, 1.1, 0xBEEF)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,5 +46,6 @@ mod tests {
         let sched = bench_schedule(&s);
         assert!(sched.validate(&s.graph.dag).is_ok());
         assert_eq!(bench_scenario_medium().task_count(), 100);
+        assert_eq!(bench_app_scenario().task_count(), 36);
     }
 }

@@ -1,0 +1,382 @@
+//! Structured-application DAG generators — the `ext-apps` workload suite.
+//!
+//! The paper evaluates its metrics on randomly generated DAGs plus two
+//! dense-linear-algebra graphs; later work (e.g. PISA, Coleman &
+//! Krishnamachari 2024) shows that scheduler *rankings* can invert on
+//! structured application graphs, so the metric-correlation study deserves
+//! re-running on realistic shapes. This module provides five parameterized
+//! application classes, each
+//!
+//! * sized by a **single `n` knob** (matrix size, point count, grid side or
+//!   branch count — see [`AppClass`]),
+//! * **seed-deterministic**: the DAG structure depends only on `n`; the
+//!   seed drives a multiplicative Gamma jitter (mean 1, CV
+//!   [`WORK_JITTER_CV`]) on the structural task work and communication
+//!   volumes, so two graphs with the same `n` are isomorphic but not
+//!   identical;
+//! * **normalized to a single source and a single sink** (classes whose
+//!   natural shape has many entries/exits — the FFT butterfly — get
+//!   explicit scatter/gather tasks), so bottom-level computations and the
+//!   slack metrics see one well-defined critical path per graph;
+//! * equipped with **closed-form node and edge counts**
+//!   ([`AppClass::task_count`], [`AppClass::edge_count`]) that the property
+//!   tests pin down.
+//!
+//! See DESIGN.md ("Structured-application generators") for the shape
+//! derivations and the count formulas.
+
+use crate::graph::Dag;
+use crate::task_graph::TaskGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use robusched_randvar::dist::sample_gamma_mean_cv;
+
+/// Coefficient of variation of the seed-driven work/volume jitter.
+pub const WORK_JITTER_CV: f64 = 0.25;
+
+/// The five structured application classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppClass {
+    /// Tiled Cholesky factorization; `n` = matrix (tile) size.
+    Cholesky,
+    /// Tiled LU factorization (getrf/trsm/gemm task pattern); `n` = matrix
+    /// size.
+    Lu,
+    /// FFT butterfly of `n` points (rounded up to a power of two), with
+    /// scatter/gather normalization tasks.
+    FftButterfly,
+    /// 2-D stencil wavefront on an `n × n` grid (right + down sweeps).
+    Stencil,
+    /// Fork-join: one source fanning out to `n` parallel tasks and joining
+    /// into one sink.
+    ForkJoin,
+}
+
+impl AppClass {
+    /// Every class, in a stable order (used by the `ext-apps` study and the
+    /// CSV artifacts).
+    pub const ALL: [AppClass; 5] = [
+        AppClass::Cholesky,
+        AppClass::Lu,
+        AppClass::FftButterfly,
+        AppClass::Stencil,
+        AppClass::ForkJoin,
+    ];
+
+    /// Stable lowercase identifier (CSV column / file names).
+    pub fn name(self) -> &'static str {
+        match self {
+            AppClass::Cholesky => "cholesky",
+            AppClass::Lu => "lu",
+            AppClass::FftButterfly => "fft",
+            AppClass::Stencil => "stencil",
+            AppClass::ForkJoin => "forkjoin",
+        }
+    }
+
+    /// Number of tasks the class generates at size `n` (closed form).
+    pub fn task_count(self, n: usize) -> usize {
+        match self {
+            AppClass::Cholesky => n * (n + 1) / 2,
+            AppClass::Lu => n * (n + 1) * (2 * n + 1) / 6,
+            AppClass::FftButterfly => {
+                let (m, p) = fft_dims(n);
+                (p + 1) * m + 2
+            }
+            AppClass::Stencil => n * n,
+            AppClass::ForkJoin => n + 2,
+        }
+    }
+
+    /// Number of edges the class generates at size `n` (closed form).
+    pub fn edge_count(self, n: usize) -> usize {
+        match self {
+            AppClass::Cholesky => n * n.saturating_sub(1),
+            AppClass::Lu => n * n.saturating_sub(1) * (2 * n + 1) / 2,
+            AppClass::FftButterfly => {
+                let (m, p) = fft_dims(n);
+                2 * m * (p + 1)
+            }
+            AppClass::Stencil => 2 * n * n.saturating_sub(1),
+            AppClass::ForkJoin => 2 * n,
+        }
+    }
+
+    /// Generates the task graph of this class at size `n` with the given
+    /// jitter seed.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn generate(self, n: usize, seed: u64) -> TaskGraph {
+        assert!(n >= 1, "application size must be at least 1");
+        let structural = match self {
+            AppClass::Cholesky => cholesky_structural(n),
+            AppClass::Lu => lu_structural(n),
+            AppClass::FftButterfly => fft_structural(n),
+            AppClass::Stencil => stencil_structural(n),
+            AppClass::ForkJoin => fork_join_structural(n),
+        };
+        let jittered = jitter(structural, seed);
+        debug_assert_eq!(jittered.task_count(), self.task_count(n));
+        debug_assert_eq!(jittered.edge_count(), self.edge_count(n));
+        TaskGraph::new(
+            jittered.dag,
+            jittered.task_work,
+            jittered.comm_volume,
+            format!("app-{}-n{n}-seed{seed}", self.name()),
+        )
+    }
+}
+
+/// `(points, stages)` of the butterfly for knob `n`: the point count is
+/// `n` rounded up to a power of two, the stage count its base-2 log.
+fn fft_dims(n: usize) -> (usize, usize) {
+    let m = n.next_power_of_two().max(1);
+    (m, m.trailing_zeros() as usize)
+}
+
+/// Applies the seed-driven multiplicative Gamma jitter (mean 1, CV
+/// [`WORK_JITTER_CV`]) to every task work and communication volume.
+/// Structure is untouched; draw order is node order then edge order, so the
+/// result is bit-reproducible for a given `(structure, seed)` pair.
+fn jitter(mut tg: TaskGraph, seed: u64) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factor = |rng: &mut StdRng| sample_gamma_mean_cv(rng, 1.0, WORK_JITTER_CV).max(0.05);
+    for w in &mut tg.task_work {
+        *w *= factor(&mut rng);
+    }
+    for v in &mut tg.comm_volume {
+        *v *= factor(&mut rng);
+    }
+    tg
+}
+
+/// Tiled Cholesky: `C(k)` (diagonal) and `E(k, j)` (column update) tasks,
+/// identical to [`crate::generators::cholesky`] — `b(b+1)/2` tasks,
+/// `b(b−1)` edges, single source `C(0)`, single sink `C(b−1)`.
+fn cholesky_structural(b: usize) -> TaskGraph {
+    crate::generators::cholesky(b)
+}
+
+/// Tiled LU with the getrf/trsm/gemm pattern.
+///
+/// Stage `k` (`r = b−1−k` remaining rows/columns) holds `A(k)` (pivot
+/// factorization), `U(k, j)` (row panel, `j = k+1..b`), `L(i, k)` (column
+/// panel, `i = k+1..b`) and `T(i, j, k)` (trailing update, `i, j > k`) —
+/// `(r+1)²` tasks per stage, `Σ (r+1)² = b(b+1)(2b+1)/6` in total.
+/// Dependencies: `A(k) → U(k,·), L(·,k)`; `U(k,j), L(i,k) → T(i,j,k)`; each
+/// `T(i,j,k)` feeds the stage-`k+1` owner of tile `(i, j)`. Edge count:
+/// `Σ_r (2r + 3r²) = b(b−1)(2b+1)/2`. Single source `A(0)`, single sink
+/// `A(b−1)`.
+fn lu_structural(b: usize) -> TaskGraph {
+    let n: usize = (1..=b).map(|t| t * t).sum();
+    let mut dag = Dag::new(n);
+    // Stage offsets: stage k starts after Σ_{k'<k} (b−k')² tasks.
+    let offsets: Vec<usize> = (0..=b)
+        .scan(0usize, |acc, k| {
+            let here = *acc;
+            if k < b {
+                *acc += (b - k) * (b - k);
+            }
+            Some(here)
+        })
+        .collect();
+    let a_id = |k: usize| offsets[k];
+    let u_id = |k: usize, j: usize| offsets[k] + 1 + (j - k - 1);
+    let l_id = |k: usize, i: usize| offsets[k] + 1 + (b - 1 - k) + (i - k - 1);
+    let t_id = |k: usize, i: usize, j: usize| {
+        offsets[k] + 1 + 2 * (b - 1 - k) + (i - k - 1) * (b - 1 - k) + (j - k - 1)
+    };
+    let mut work = vec![0.0; n];
+    let mut volumes = Vec::new();
+    let mut add = |dag: &mut Dag, u: usize, v: usize, vol: f64| {
+        dag.add_edge(u, v);
+        volumes.push(vol);
+    };
+    for k in 0..b {
+        let r = b - 1 - k;
+        let tile = (r + 1) as f64;
+        work[a_id(k)] = tile;
+        for j in k + 1..b {
+            work[u_id(k, j)] = tile;
+            add(&mut dag, a_id(k), u_id(k, j), tile);
+        }
+        for i in k + 1..b {
+            work[l_id(k, i)] = tile;
+            add(&mut dag, a_id(k), l_id(k, i), tile);
+        }
+        for i in k + 1..b {
+            for j in k + 1..b {
+                work[t_id(k, i, j)] = 2.0 * tile;
+                add(&mut dag, u_id(k, j), t_id(k, i, j), tile);
+                add(&mut dag, l_id(k, i), t_id(k, i, j), tile);
+                // Tile (i, j) is owned at stage k+1 by A, U, L or T.
+                let owner = if i == k + 1 && j == k + 1 {
+                    a_id(k + 1)
+                } else if i == k + 1 {
+                    u_id(k + 1, j)
+                } else if j == k + 1 {
+                    l_id(k + 1, i)
+                } else {
+                    t_id(k + 1, i, j)
+                };
+                add(&mut dag, t_id(k, i, j), owner, tile);
+            }
+        }
+    }
+    TaskGraph::new(dag, work, volumes, format!("lu-{b}"))
+}
+
+/// FFT butterfly on `m = 2^p ≥ n` points: `p + 1` ranks of `m` butterfly
+/// tasks plus a scatter source and a gather sink. Rank-`t` task `i` feeds
+/// rank-`t+1` tasks `i` (straight) and `i XOR 2^t` (cross) — `2m` edges per
+/// stage, `2m(p+1)` total with the scatter/gather fans.
+fn fft_structural(n: usize) -> TaskGraph {
+    let (m, p) = fft_dims(n);
+    let node = |t: usize, i: usize| 1 + t * m + i;
+    let total = (p + 1) * m + 2;
+    let source = 0usize;
+    let sink = total - 1;
+    let mut dag = Dag::new(total);
+    let mut volumes = Vec::new();
+    let mut add = |dag: &mut Dag, u: usize, v: usize| {
+        dag.add_edge(u, v);
+        volumes.push(1.0);
+    };
+    for i in 0..m {
+        add(&mut dag, source, node(0, i));
+    }
+    for t in 0..p {
+        for i in 0..m {
+            add(&mut dag, node(t, i), node(t + 1, i));
+            add(&mut dag, node(t, i), node(t + 1, i ^ (1 << t)));
+        }
+    }
+    for i in 0..m {
+        add(&mut dag, node(p, i), sink);
+    }
+    TaskGraph::new(dag, vec![1.0; total], volumes, format!("fft-{m}"))
+}
+
+/// 2-D wavefront: grid task `(i, j)` feeds `(i+1, j)` and `(i, j+1)`.
+/// Single source `(0,0)`, single sink `(n−1,n−1)`, `n²` tasks,
+/// `2n(n−1)` edges.
+fn stencil_structural(b: usize) -> TaskGraph {
+    let n = b * b;
+    let id = |i: usize, j: usize| i * b + j;
+    let mut dag = Dag::new(n);
+    let mut volumes = Vec::new();
+    for i in 0..b {
+        for j in 0..b {
+            if i + 1 < b {
+                dag.add_edge(id(i, j), id(i + 1, j));
+                volumes.push(1.0);
+            }
+            if j + 1 < b {
+                dag.add_edge(id(i, j), id(i, j + 1));
+                volumes.push(1.0);
+            }
+        }
+    }
+    TaskGraph::new(dag, vec![1.0; n], volumes, format!("stencil-{b}"))
+}
+
+/// Normalized fork-join: source → `n` parallel branches → sink
+/// (`n + 2` tasks, `2n` edges). Unlike [`crate::generators::fork_join`],
+/// which models the Fig. 9 join graph with `n` entry nodes, this variant
+/// has the single source the suite-wide normalization requires.
+fn fork_join_structural(n: usize) -> TaskGraph {
+    let total = n + 2;
+    let mut dag = Dag::new(total);
+    let mut volumes = Vec::new();
+    for i in 1..=n {
+        dag.add_edge(0, i);
+        volumes.push(1.0);
+    }
+    for i in 1..=n {
+        dag.add_edge(i, total - 1);
+        volumes.push(1.0);
+    }
+    TaskGraph::new(dag, vec![1.0; total], volumes, format!("forkjoin-{n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_small_structure() {
+        // b = 2: A(0), U(0,1), L(1,0), T(1,1,0), A(1) — 5 tasks, 5 edges.
+        let tg = AppClass::Lu.generate(2, 0);
+        assert_eq!(tg.task_count(), 5);
+        assert_eq!(tg.edge_count(), 5);
+        assert!(tg.dag.has_edge(0, 1)); // A(0) → U(0,1)
+        assert!(tg.dag.has_edge(0, 2)); // A(0) → L(1,0)
+        assert!(tg.dag.has_edge(1, 3)); // U(0,1) → T(1,1,0)
+        assert!(tg.dag.has_edge(2, 3)); // L(1,0) → T(1,1,0)
+        assert!(tg.dag.has_edge(3, 4)); // T(1,1,0) → A(1)
+    }
+
+    #[test]
+    fn lu_depth_grows_linearly() {
+        // Critical path alternates A(k) → panel → T → A(k+1): 3 hops per
+        // stage, so 3(b−1) + 1 nodes.
+        let tg = AppClass::Lu.generate(5, 1);
+        assert_eq!(tg.dag.depth(), 13);
+    }
+
+    #[test]
+    fn fft_rounds_to_power_of_two() {
+        // n = 5 → 8 points, 3 stages: 4·8 + 2 tasks.
+        assert_eq!(AppClass::FftButterfly.task_count(5), 34);
+        let tg = AppClass::FftButterfly.generate(5, 3);
+        assert_eq!(tg.task_count(), 34);
+        assert_eq!(tg.edge_count(), 2 * 8 * 4);
+    }
+
+    #[test]
+    fn fft_butterfly_in_degree_two() {
+        let tg = AppClass::FftButterfly.generate(8, 2);
+        // Ranks 1..=3 all have in-degree 2 (straight + cross).
+        for t in 1..=3usize {
+            for i in 0..8usize {
+                assert_eq!(tg.dag.in_degree(1 + t * 8 + i), 2, "rank {t} node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_diagonal_critical_path() {
+        let tg = AppClass::Stencil.generate(4, 9);
+        assert_eq!(tg.task_count(), 16);
+        // Longest chain walks 2(n−1) steps: 2n − 1 nodes.
+        assert_eq!(tg.dag.depth(), 7);
+    }
+
+    #[test]
+    fn all_classes_single_source_sink() {
+        for class in AppClass::ALL {
+            for n in [1usize, 2, 4, 7] {
+                let tg = class.generate(n, 11);
+                assert_eq!(tg.dag.entry_nodes().len(), 1, "{} n={n}", class.name());
+                assert_eq!(tg.dag.exit_nodes().len(), 1, "{} n={n}", class.name());
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let a = AppClass::Cholesky.generate(6, 42);
+        let b = AppClass::Cholesky.generate(6, 42);
+        assert_eq!(a.task_work, b.task_work);
+        assert_eq!(a.comm_volume, b.comm_volume);
+        let c = AppClass::Cholesky.generate(6, 43);
+        assert_ne!(a.task_work, c.task_work);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = AppClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["cholesky", "lu", "fft", "stencil", "forkjoin"]);
+    }
+}

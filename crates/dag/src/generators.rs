@@ -22,6 +22,7 @@ use crate::graph::Dag;
 use crate::task_graph::TaskGraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use robusched_randvar::dist::sample_gamma_mean_cv;
 
 /// Configuration of the §V layered random-DAG generator.
 #[derive(Debug, Clone)]
@@ -61,13 +62,6 @@ impl Default for LayeredRandomConfig {
     }
 }
 
-fn gamma_mean_cv(rng: &mut StdRng, mean: f64, cv: f64) -> f64 {
-    use robusched_randvar::dist::sample_standard_gamma;
-    let shape = 1.0 / (cv * cv);
-    let scale = mean * cv * cv;
-    sample_standard_gamma(rng, shape) * scale
-}
-
 /// The paper's random layered DAG.
 ///
 /// Nodes are created in order; node `i ≥ 1` draws an in-degree `d` uniformly
@@ -94,11 +88,11 @@ pub fn layered_random(cfg: &LayeredRandomConfig, seed: u64) -> TaskGraph {
         }
     }
     let task_work: Vec<f64> = (0..cfg.n)
-        .map(|_| gamma_mean_cv(&mut rng, cfg.mu_task, cfg.cv_task))
+        .map(|_| sample_gamma_mean_cv(&mut rng, cfg.mu_task, cfg.cv_task))
         .collect();
     let mu_comm = cfg.mu_task * cfg.ccr;
     let comm_volume: Vec<f64> = (0..dag.edge_count())
-        .map(|_| gamma_mean_cv(&mut rng, mu_comm, cfg.cv_comm))
+        .map(|_| sample_gamma_mean_cv(&mut rng, mu_comm, cfg.cv_comm))
         .collect();
     TaskGraph::new(
         dag,

@@ -17,12 +17,18 @@
 //!   Fig. 3 instance), the Gaussian-elimination graph of Cosnard et al.
 //!   (104 tasks at matrix size 14 — the Fig. 5 instance, "103 tasks" in the
 //!   paper), and classic shapes (chain, fork-join, diamond, in-tree,
-//!   independent tasks) used by tests and the Fig. 9 experiment.
+//!   independent tasks) used by tests and the Fig. 9 experiment;
+//! * [`apps`] — the structured-application suite behind the `ext-apps`
+//!   study: Cholesky, LU, FFT butterfly, stencil wavefront and fork-join
+//!   classes, each sized by a single `n` knob, seed-deterministic, and
+//!   normalized to one source and one sink.
 
+pub mod apps;
 pub mod generators;
 pub mod graph;
 pub mod task_graph;
 
+pub use apps::AppClass;
 pub use generators::{
     chain, cholesky, diamond, fork_join, gaussian_elimination, independent, intree, layered_random,
     LayeredRandomConfig,

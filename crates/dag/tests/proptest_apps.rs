@@ -1,0 +1,76 @@
+//! Property tests for the structured-application (`ext-apps`) generators:
+//! for every class and size, the generated DAG must be acyclic, match the
+//! closed-form node/edge counts, be normalized to a single source and a
+//! single sink, and be bit-deterministic in the seed.
+
+use proptest::prelude::*;
+use robusched_dag::apps::AppClass;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn structural_invariants(
+        n in 1usize..11,
+        seed in 0u64..10_000,
+        class_idx in 0usize..5,
+    ) {
+        let class = AppClass::ALL[class_idx];
+        let tg = class.generate(n, seed);
+
+        // Closed-form node/edge counts as a function of n.
+        prop_assert_eq!(tg.task_count(), class.task_count(n));
+        prop_assert_eq!(tg.edge_count(), class.edge_count(n));
+
+        // Acyclicity (TaskGraph::new also asserts it; this documents it).
+        prop_assert!(tg.dag.is_acyclic());
+
+        // Single-source / single-sink normalization.
+        prop_assert_eq!(tg.dag.entry_nodes().len(), 1);
+        prop_assert_eq!(tg.dag.exit_nodes().len(), 1);
+
+        // Every task reachable from the source: connected workloads only.
+        let source = tg.dag.entry_nodes()[0];
+        let reach = tg.dag.reachable_from(source);
+        let reached = reach.iter().filter(|&&r| r).count();
+        prop_assert_eq!(reached, tg.task_count() - 1, "unreachable tasks");
+
+        // Annotations positive and finite (jitter must not zero them out).
+        prop_assert!(tg.task_work.iter().all(|w| w.is_finite() && *w > 0.0));
+        prop_assert!(tg.comm_volume.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn seed_determinism(
+        n in 2usize..10,
+        seed in 0u64..10_000,
+        class_idx in 0usize..5,
+    ) {
+        let class = AppClass::ALL[class_idx];
+        let a = class.generate(n, seed);
+        let b = class.generate(n, seed);
+        // Identical seeds: identical annotations and structure.
+        prop_assert_eq!(&a.task_work, &b.task_work);
+        prop_assert_eq!(&a.comm_volume, &b.comm_volume);
+        prop_assert_eq!(a.edge_count(), b.edge_count());
+
+        // Different seeds: same structure, different weights.
+        let c = class.generate(n, seed ^ 0x5DEECE66D);
+        prop_assert_eq!(a.task_count(), c.task_count());
+        prop_assert_eq!(a.edge_count(), c.edge_count());
+        prop_assert_ne!(&a.task_work, &c.task_work);
+    }
+
+    #[test]
+    fn counts_are_monotone_in_n(
+        n in 1usize..10,
+        class_idx in 0usize..5,
+    ) {
+        let class = AppClass::ALL[class_idx];
+        // Non-strict step monotonicity (FFT plateaus between powers of two)
+        // and strict growth under doubling.
+        prop_assert!(class.task_count(n + 1) >= class.task_count(n));
+        prop_assert!(class.edge_count(n + 1) >= class.edge_count(n));
+        prop_assert!(class.task_count(2 * n) > class.task_count(n));
+    }
+}

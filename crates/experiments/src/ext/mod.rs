@@ -7,7 +7,9 @@
 //! | [`pareto`] | "studying the correlation in the extreme cases (near the Pareto front)" |
 //! | [`grid_resolution`] | §V's claim that 64-point PDF sampling "was largely sufficient" — accuracy vs grid ablation |
 //! | [`sigma_heuristic`] | "an efficient heuristic … based on the standard deviation of every task's duration" — σ-HEFT vs HEFT |
+//! | [`apps`] | scenario diversity beyond the future-work list: the metric-correlation study on structured application DAGs (Cholesky, LU, FFT, stencil, fork-join) |
 
+pub mod apps;
 pub mod distributions;
 pub mod grid_resolution;
 pub mod pareto;

@@ -86,7 +86,7 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Fig6> {
 /// inversion* `σ̂ = (γ−1)·E / Φ⁻¹((R+1)/2)` — and indeed it reproduces the
 /// paper's 0.998 ± 0.009 in our runs, while the two literal readings
 /// (`(1−R)/E`, `R/E`) land at |r| ≈ 0.5–0.97 with unstable sign. All are
-/// reported; see EXPERIMENTS.md.
+/// reported; see DESIGN.md.
 #[derive(Debug, Clone, Copy)]
 pub struct RelProbVariants {
     /// Pearson of raw `1 − R(γ)` vs `σ_M` (the Fig. 6 cell).

@@ -16,7 +16,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: robusched-experiments <fig1..fig9|ext-ul|ext-dist|ext-pareto|ext-grid|ext-sigma|all|ext-all> [--scale F] [--seed N] [--out DIR] [--no-out]"
+        "usage: robusched-experiments <fig1..fig9|ext-ul|ext-dist|ext-pareto|ext-grid|ext-sigma|ext-apps|all|ext-all> [--scale F] [--seed N] [--out DIR] [--no-out]"
     );
     std::process::exit(2);
 }
@@ -33,10 +33,18 @@ fn main() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                opts.scale = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
+                let raw = args.get(i).cloned().unwrap_or_else(|| usage());
+                match raw.parse::<f64>() {
+                    Ok(v) if v > 0.0 && v.is_finite() => opts.scale = v,
+                    Ok(v) => {
+                        eprintln!("--scale must be a positive finite number, got {v}");
+                        std::process::exit(2);
+                    }
+                    Err(_) => {
+                        eprintln!("--scale expects a number, got '{raw}'");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--seed" => {
                 i += 1;
@@ -91,6 +99,7 @@ fn main() {
             "ext-sigma" => ext::sigma_heuristic::render(
                 &ext::sigma_heuristic::run(opts).expect("ext-sigma failed"),
             ),
+            "ext-apps" => ext::apps::render(&ext::apps::run(opts).expect("ext-apps failed")),
             other => {
                 eprintln!("unknown figure {other}");
                 usage();
@@ -109,7 +118,14 @@ fn main() {
             }
         }
         "ext-all" => {
-            for f in ["ext-ul", "ext-dist", "ext-pareto", "ext-grid", "ext-sigma"] {
+            for f in [
+                "ext-ul",
+                "ext-dist",
+                "ext-pareto",
+                "ext-grid",
+                "ext-sigma",
+                "ext-apps",
+            ] {
                 run_one(f, &opts);
             }
         }

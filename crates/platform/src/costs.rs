@@ -16,7 +16,26 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use robusched_randvar::dist::sample_standard_gamma;
+use robusched_randvar::dist::sample_gamma_mean_cv;
+
+/// Per-machine relative speeds with a tunable coefficient of variation:
+/// `m` Gamma draws with mean 1 and CV `cov` (clamped away from zero so no
+/// machine becomes infinitely slow). `cov = 0` yields the homogeneous
+/// vector of ones; larger values give increasingly heterogeneous but
+/// *consistent* platforms — machine `j` is uniformly fast or slow across
+/// all tasks, the model the structured-application (`ext-apps`) scenarios
+/// use instead of the fully unrelated per-entry draws.
+pub fn machine_speeds(m: usize, cov: f64, seed: u64) -> Vec<f64> {
+    assert!(m >= 1, "need at least one machine");
+    assert!(cov >= 0.0 && cov.is_finite(), "speed CoV must be ≥ 0");
+    if cov == 0.0 {
+        return vec![1.0; m];
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| sample_gamma_mean_cv(&mut rng, 1.0, cov).max(0.05))
+        .collect()
+}
 
 /// Row-major `n × m` matrix of minimum task durations.
 #[derive(Debug, Clone)]
@@ -46,16 +65,14 @@ impl CostMatrix {
         assert!(m >= 1);
         assert!(v_mach > 0.0, "machine CV must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
-        let shape = 1.0 / (v_mach * v_mach);
         let n = task_work.len();
         let mut w = Vec::with_capacity(n * m);
         for &work in task_work {
             assert!(work > 0.0, "task work must be positive for the CV method");
-            let scale = work * v_mach * v_mach;
             for _ in 0..m {
                 // Guard against pathological near-zero draws that would make
                 // a task free on some machine.
-                let d = (sample_standard_gamma(&mut rng, shape) * scale).max(work * 1e-3);
+                let d = sample_gamma_mean_cv(&mut rng, work, v_mach).max(work * 1e-3);
                 w.push(d);
             }
         }
@@ -83,6 +100,41 @@ impl CostMatrix {
             let min_val = unit * rng.gen_range(min_lo..=min_hi);
             for _ in 0..m {
                 w.push(rng.gen_range(min_val..=2.0 * min_val));
+            }
+        }
+        Self { n, m, w }
+    }
+
+    /// The related-machines (consistent-heterogeneity) method:
+    /// `w(i, j) = task_work[i] / speeds[j]`, optionally blurred by a
+    /// per-entry Gamma noise factor (mean 1, CV `noise_cv`) that reintroduces
+    /// a controlled degree of unrelatedness. With `noise_cv = 0` the matrix
+    /// is exactly rank-one in `(work, 1/speed)` — a *consistent* platform in
+    /// the Braun et al. taxonomy — which is what structured-application
+    /// tasks expect: a fast machine is fast for every kernel.
+    pub fn related_method(task_work: &[f64], speeds: &[f64], noise_cv: f64, seed: u64) -> Self {
+        let m = speeds.len();
+        assert!(m >= 1, "need at least one machine");
+        assert!(
+            speeds.iter().all(|s| s.is_finite() && *s > 0.0),
+            "machine speeds must be positive and finite"
+        );
+        assert!(
+            noise_cv >= 0.0 && noise_cv.is_finite(),
+            "noise CV must be ≥ 0"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = task_work.len();
+        let mut w = Vec::with_capacity(n * m);
+        for &work in task_work {
+            assert!(work > 0.0, "task work must be positive");
+            for &s in speeds {
+                let noise = if noise_cv == 0.0 {
+                    1.0
+                } else {
+                    sample_gamma_mean_cv(&mut rng, 1.0, noise_cv).max(0.05)
+                };
+                w.push(work / s * noise);
             }
         }
         Self { n, m, w }
@@ -195,5 +247,51 @@ mod tests {
     #[should_panic(expected = "positive and finite")]
     fn rejects_zero_cost() {
         CostMatrix::from_rows(1, 2, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn machine_speeds_statistics() {
+        let s = machine_speeds(2000, 0.5, 17);
+        assert_eq!(s.len(), 2000);
+        assert!(s.iter().all(|x| *x >= 0.05));
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean speed {mean}");
+        let var = s.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / s.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 0.5).abs() < 0.05, "speed cv {cv}");
+        // Degenerate CoV: homogeneous ones.
+        assert_eq!(machine_speeds(4, 0.0, 3), vec![1.0; 4]);
+        // Deterministic in the seed.
+        assert_eq!(machine_speeds(8, 0.3, 9), machine_speeds(8, 0.3, 9));
+    }
+
+    #[test]
+    fn related_method_is_consistent_without_noise() {
+        let work = vec![3.0, 7.0, 11.0];
+        let speeds = vec![1.0, 2.0, 0.5];
+        let c = CostMatrix::related_method(&work, &speeds, 0.0, 1);
+        for (i, &wk) in work.iter().enumerate() {
+            for (j, &s) in speeds.iter().enumerate() {
+                assert!((c.cost(i, j) - wk / s).abs() < 1e-12);
+            }
+        }
+        // Consistency: machine orderings agree across every task.
+        for i in 0..3 {
+            assert_eq!(c.fastest_machine(i), 1);
+        }
+    }
+
+    #[test]
+    fn related_method_noise_stays_near_consistent() {
+        let work = vec![10.0; 300];
+        let speeds = vec![1.0, 4.0];
+        let c = CostMatrix::related_method(&work, &speeds, 0.1, 5);
+        // The 4× speed gap dominates the 10 % noise: the fast machine wins
+        // on (essentially) every row.
+        let fast_wins = (0..300).filter(|&i| c.fastest_machine(i) == 1).count();
+        assert!(fast_wins >= 295, "fast machine won only {fast_wins}/300");
+        // Noise is mean-1: column means track work/speed.
+        let col0 = (0..300).map(|i| c.cost(i, 0)).sum::<f64>() / 300.0;
+        assert!((col0 - 10.0).abs() < 0.5, "col0 mean {col0}");
     }
 }

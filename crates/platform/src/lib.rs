@@ -13,8 +13,11 @@
 //! Modules:
 //! * [`machines`] — [`machines::Platform`]: `τ`/`L` matrices + generators;
 //! * [`costs`] — [`costs::CostMatrix`]: the unrelated duration matrix, with
-//!   the CV-based gamma method of Ali et al. (random graphs) and the
-//!   `[minVal, 2·minVal]` uniform method (real-application graphs);
+//!   the CV-based gamma method of Ali et al. (random graphs), the
+//!   `[minVal, 2·minVal]` uniform method (real-application graphs), and the
+//!   related-machines speed-vector method ([`costs::machine_speeds`] +
+//!   [`costs::CostMatrix::related_method`]) behind the structured
+//!   `ext-apps` scenarios;
 //! * [`uncertainty`] — [`uncertainty::UncertaintyModel`] and the
 //!   [`uncertainty::WeightDist`] enum dispatching the per-weight
 //!   distributions without boxing;
@@ -27,7 +30,7 @@ pub mod machines;
 pub mod scenario;
 pub mod uncertainty;
 
-pub use costs::CostMatrix;
+pub use costs::{machine_speeds, CostMatrix};
 pub use machines::Platform;
 pub use scenario::Scenario;
 pub use uncertainty::{UncertaintyKind, UncertaintyModel, WeightDist};

@@ -112,6 +112,23 @@ impl Scenario {
         Self::new(graph, platform, costs, UncertaintyModel::paper(ul))
     }
 
+    /// The structured-application (`ext-apps`) case: a given task graph
+    /// (one of the [`robusched_dag::apps::AppClass`] shapes), a
+    /// *consistent-heterogeneity* cost matrix built from per-machine speed
+    /// vectors with coefficient of variation `speed_cov` (plus 10 % mean-1
+    /// unrelatedness noise — see [`CostMatrix::related_method`] and
+    /// DESIGN.md), unit-τ zero-latency network, Beta(2, 5) uncertainty at
+    /// level `ul`. Unlike [`Scenario::paper_real_app`], a machine that is
+    /// fast for one kernel is fast for all of them, the regime real
+    /// dense-linear-algebra platforms live in.
+    pub fn structured_app(graph: TaskGraph, m: usize, speed_cov: f64, ul: f64, seed: u64) -> Self {
+        let speeds = crate::costs::machine_speeds(m, speed_cov, derive_seed(seed, 3));
+        let costs =
+            CostMatrix::related_method(&graph.task_work, &speeds, 0.1, derive_seed(seed, 4));
+        let platform = Platform::paper_default(m);
+        Self::new(graph, platform, costs, UncertaintyModel::paper(ul))
+    }
+
     /// Number of tasks.
     pub fn task_count(&self) -> usize {
         self.graph.task_count()
@@ -224,6 +241,31 @@ mod tests {
                 assert!(s.det_task_cost(i, p) <= 2.0 * min + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn structured_app_case() {
+        use robusched_dag::apps::AppClass;
+        let s = Scenario::structured_app(AppClass::Lu.generate(3, 5), 4, 0.5, 1.1, 9);
+        assert_eq!(s.task_count(), 14);
+        assert_eq!(s.machine_count(), 4);
+        // Deterministic in the seed.
+        let t = Scenario::structured_app(AppClass::Lu.generate(3, 5), 4, 0.5, 1.1, 9);
+        for i in 0..14 {
+            for p in 0..4 {
+                assert_eq!(s.det_task_cost(i, p), t.det_task_cost(i, p));
+            }
+        }
+        // Consistent heterogeneity: with only 10 % noise over the speed
+        // spread, the per-task fastest machine is (nearly) always the same.
+        let mut wins = [0usize; 4];
+        for i in 0..14 {
+            wins[s.costs.fastest_machine(i)] += 1;
+        }
+        assert!(
+            wins.iter().any(|&w| w >= 12),
+            "no dominant machine: {wins:?}"
+        );
     }
 
     #[test]

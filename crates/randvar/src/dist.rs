@@ -127,6 +127,18 @@ pub fn sample_standard_gamma(rng: &mut dyn RngCore, a: f64) -> f64 {
     }
 }
 
+/// One Gamma deviate in the `(mean, coefficient of variation)`
+/// parameterization used throughout the workspace (Ali et al.'s CV method,
+/// the weight jitter of the structured-application generators, the
+/// machine-speed vectors): shape `1/cv²`, scale `mean·cv²`. Callers apply
+/// their own floors where a near-zero draw would be pathological.
+pub fn sample_gamma_mean_cv(rng: &mut dyn RngCore, mean: f64, cv: f64) -> f64 {
+    assert!(cv > 0.0, "coefficient of variation must be positive");
+    let shape = 1.0 / (cv * cv);
+    let scale = mean * cv * cv;
+    sample_standard_gamma(rng, shape) * scale
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

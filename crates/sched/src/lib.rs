@@ -14,12 +14,12 @@
 //! for Monte-Carlo, random variables for the analytic evaluators.
 //!
 //! Heuristics (all produce eager schedules):
-//! * [`heft`] — HEFT (Topcuoglu, Hariri & Wu): mean-cost upward ranks +
+//! * [`mod@heft`] — HEFT (Topcuoglu, Hariri & Wu): mean-cost upward ranks +
 //!   insertion-based earliest finish time;
-//! * [`bil`] — BIL (Oh & Ha): basic imaginary levels / makespans;
+//! * [`mod@bil`] — BIL (Oh & Ha): basic imaginary levels / makespans;
 //! * [`bmct`] — Hyb.BMCT (Sakellariou & Zhao): rank-ordered independent
 //!   groups refined by balanced minimum completion time;
-//! * [`cpop`] — CPOP (Topcuoglu et al.), an extension beyond the paper's
+//! * [`mod@cpop`] — CPOP (Topcuoglu et al.), an extension beyond the paper's
 //!   evaluated set;
 //! * [`random`] — the paper's random schedule generator (uniform ready task
 //!   → uniform processor → eager placement).
