@@ -14,6 +14,7 @@ fn opts(scale: f64) -> RunOptions {
         scale,
         out_dir: None,
         seed: 99,
+        threads: None,
     }
 }
 

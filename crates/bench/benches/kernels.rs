@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use robusched_bench::{bench_app_scenario, bench_scenario, bench_scenario_medium, bench_schedule};
-use robusched_core::{run_case, StudyConfig};
+#[allow(deprecated)]
+use robusched_core::run_case;
+use robusched_core::{StudyBuilder, StudyConfig};
 use robusched_dag::apps::AppClass;
 use robusched_numeric::convolution::{convolve_direct, convolve_fft, convolve_overlap_add};
 use robusched_randvar::{DiscreteRv, ScaledBeta};
@@ -93,6 +95,7 @@ fn app_workloads(c: &mut Criterion) {
     });
     let s = bench_app_scenario();
     g.sample_size(10);
+    #[allow(deprecated)]
     g.bench_function("run-case-cholesky-36t", |b| {
         b.iter(|| {
             run_case(
@@ -105,6 +108,42 @@ fn app_workloads(c: &mut Criterion) {
                     ..Default::default()
                 },
             )
+        })
+    });
+    g.finish();
+}
+
+/// Buffered legacy pipeline vs the streaming engine on the same study:
+/// identical schedule streams and evaluator work, different memory story
+/// (`O(n·k)` materialized rows vs `O(k²)` co-moments + the rank
+/// reservoir). The delta isolates the buffering overhead.
+fn study_streaming(c: &mut Criterion) {
+    let s = bench_scenario();
+    let mut g = c.benchmark_group("study-streaming");
+    g.sample_size(10);
+    #[allow(deprecated)]
+    g.bench_function("buffered-run-case-256", |b| {
+        b.iter(|| {
+            run_case(
+                black_box(&s),
+                &StudyConfig {
+                    random_schedules: 256,
+                    seed: 9,
+                    with_heuristics: false,
+                    threads: Some(1),
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.bench_function("streaming-builder-256", |b| {
+        b.iter(|| {
+            StudyBuilder::new(black_box(&s))
+                .random_schedules(256)
+                .seed(9)
+                .threads(1)
+                .run()
+                .unwrap()
         })
     });
     g.finish();
@@ -145,6 +184,7 @@ criterion_group!(
     heuristics,
     evaluators,
     grid_resolution_ablation,
-    app_workloads
+    app_workloads,
+    study_streaming
 );
 criterion_main!(kernels);

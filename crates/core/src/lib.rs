@@ -20,16 +20,28 @@
 //! | late fraction (ext.) | `R₂` | `P(M > E[M])` |
 //!
 //! [`study`] runs the paper's experimental protocol on a scenario: sample
-//! thousands of random schedules (plus HEFT, BIL, Hyb.BMCT and optionally
-//! CPOP), evaluate every metric per schedule, and emit the Pearson
-//! correlation matrix with the paper's plotting orientation (§VI inverts
-//! the slack and the two probabilistic metrics so that "optimized" always
-//! means "minimized").
+//! thousands of random schedules (plus any registered heuristics),
+//! evaluate every metric per schedule under a pluggable
+//! [`robusched_stochastic::Evaluator`], and emit the Pearson correlation
+//! matrix with the paper's plotting orientation (§VI inverts the slack and
+//! the two probabilistic metrics so that "optimized" always means
+//! "minimized"). [`StudyBuilder`] is the engine's entry point; its
+//! parallel workers feed the [`streaming`] accumulators (Welford co-moment
+//! matrix + rank reservoir) so correlation matrices need `O(k²)` memory
+//! instead of materializing every row. The legacy [`run_case`] remains as
+//! a deprecated buffering shim.
 
 pub mod metrics;
 pub mod optimize;
+pub mod streaming;
 pub mod study;
 
-pub use metrics::{compute_metrics, MetricOptions, MetricValues, METRIC_LABELS};
+pub use metrics::{compute_metrics, metric_index, MetricOptions, MetricValues, METRIC_LABELS};
 pub use optimize::{pareto_search, ParetoPoint, SearchConfig};
-pub use study::{pearson_matrix, run_case, spearman_matrix, CaseResult, StudyConfig};
+pub use streaming::{RankReservoir, StreamingMoments};
+#[allow(deprecated)]
+pub use study::run_case;
+pub use study::{
+    pearson_matrix, spearman_matrix, CaseResult, MetricSink, StudyBuilder, StudyConfig, StudyError,
+    StudyResult,
+};

@@ -18,6 +18,19 @@ pub const METRIC_LABELS: [&str; 8] = [
     "rel_prob",
 ];
 
+/// Position of a metric label in [`METRIC_LABELS`] (and therefore in every
+/// correlation matrix the study engine emits).
+///
+/// # Panics
+/// Panics on an unknown label — label sets are compile-time constants, so
+/// a miss is a programming error, not an input error.
+pub fn metric_index(name: &str) -> usize {
+    METRIC_LABELS
+        .iter()
+        .position(|&l| l == name)
+        .unwrap_or_else(|| panic!("unknown metric label {name}"))
+}
+
 /// Parameters of the probabilistic metrics.
 #[derive(Debug, Clone, Copy)]
 pub struct MetricOptions {

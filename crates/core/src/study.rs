@@ -1,22 +1,47 @@
-//! The experimental protocol of §V–§VI on one scenario ("case").
+//! The experimental protocol of §V–§VI, as a pluggable engine.
 //!
 //! Per case the paper evaluates 10 000 uniform random schedules (2 000 for
 //! the 100-task cases) plus the three heuristics, computes every metric for
 //! each schedule from its analytic makespan distribution, and reports the
-//! Pearson correlation matrix between the metrics. [`run_case`] implements
-//! exactly that, parallelized over schedules with crossbeam (fixed
-//! chunk-index seeding keeps the output identical for any thread count).
+//! Pearson correlation matrix between the metrics.
+//!
+//! [`StudyBuilder`] generalizes that protocol across three axes:
+//!
+//! * **heuristics** are any set of [`robusched_sched::Heuristic`] names
+//!   resolved through `sched`'s registry;
+//! * **the evaluator** is any [`robusched_stochastic::Evaluator`] (classic,
+//!   Spelde, Dodin, Monte-Carlo, or an external impl);
+//! * **the output** streams: parallel workers deliver metric rows *in
+//!   sampling order* into `O(k²)` [`StreamingMoments`] and a bounded
+//!   [`RankReservoir`] (plus an optional caller [`MetricSink`]), so
+//!   correlation matrices no longer require materializing every
+//!   [`MetricValues`] — 100k+-schedule sweeps run in constant memory.
+//!   Buffering remains available ([`StudyBuilder::buffer_metrics`]) for
+//!   consumers that need the raw rows.
+//!
+//! Work is split into fixed 64-schedule chunks, each seeded as
+//! `derive_seed(seed, index)`; workers steal chunks but deliver them in
+//! index order, so every accumulator state — and therefore every streamed
+//! matrix — is bit-identical for any thread count.
+//!
+//! [`run_case`] survives as a thin deprecated shim over the builder: it
+//! buffers every row and computes the two-pass [`pearson_matrix`], which
+//! keeps its output bit-for-bit identical to the pre-builder pipeline.
 
 use crate::metrics::{compute_metrics, MetricOptions, MetricValues, METRIC_LABELS};
+use crate::streaming::{RankReservoir, StreamingMoments};
 use crossbeam::thread;
 use robusched_platform::Scenario;
 use robusched_randvar::derive_seed;
-use robusched_sched::{bil, cpop, heft, hyb_bmct, random_schedule, Schedule};
+use robusched_sched::{heuristic_by_name, random_schedule, Heuristic, ScheduleError};
 use robusched_stats::CorrMatrix;
-use robusched_stochastic::evaluate_classic;
+use robusched_stochastic::{ClassicEvaluator, Evaluator};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Study configuration for one case.
+/// Study configuration for one case (the legacy [`run_case`] surface;
+/// [`StudyBuilder`] is the pluggable superset).
 #[derive(Debug, Clone)]
 pub struct StudyConfig {
     /// Number of random schedules (paper: 10 000; 2 000 for n = 100).
@@ -59,98 +84,418 @@ pub struct CaseResult {
     pub pearson: CorrMatrix,
 }
 
+/// Why a study could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StudyError {
+    /// `random_schedules` was zero.
+    NoSchedules,
+    /// `threads` was explicitly set to zero.
+    ZeroThreads,
+    /// `reservoir_capacity` was below the 2-row minimum a rank statistic
+    /// needs.
+    ReservoirTooSmall(usize),
+    /// A heuristic name did not resolve in `sched`'s registry.
+    UnknownHeuristic(String),
+    /// An evaluator name did not resolve in `stochastic`'s registry.
+    UnknownEvaluator(String),
+    /// A heuristic rejected the scenario.
+    Schedule(ScheduleError),
+}
+
+impl std::fmt::Display for StudyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoSchedules => write!(f, "need at least one random schedule"),
+            Self::ZeroThreads => write!(f, "thread count must be at least 1"),
+            Self::ReservoirTooSmall(c) => {
+                write!(f, "rank-reservoir capacity must be at least 2, got {c}")
+            }
+            Self::UnknownHeuristic(n) => write!(f, "unknown heuristic '{n}'"),
+            Self::UnknownEvaluator(n) => write!(f, "unknown evaluator '{n}'"),
+            Self::Schedule(e) => write!(f, "heuristic produced an invalid schedule: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
+impl From<ScheduleError> for StudyError {
+    fn from(e: ScheduleError) -> Self {
+        Self::Schedule(e)
+    }
+}
+
+/// A per-row consumer of the metric stream.
+///
+/// [`StudyBuilder::sink`] registers one; the engine calls
+/// [`record`](MetricSink::record) once per random schedule **in sampling
+/// order** (index `0, 1, 2, …`), regardless of how many worker threads
+/// computed the rows. Sinks must be `Send` (they are invoked from worker
+/// threads, serialized under the delivery lock).
+///
+/// Any `FnMut(usize, &MetricValues) + Send` closure is a sink.
+pub trait MetricSink: Send {
+    /// Consumes the metric row of schedule `index`.
+    fn record(&mut self, index: usize, values: &MetricValues);
+}
+
+impl<F: FnMut(usize, &MetricValues) + Send> MetricSink for F {
+    fn record(&mut self, index: usize, values: &MetricValues) {
+        self(index, values);
+    }
+}
+
+/// The streamed outcome of a study.
+#[derive(Debug)]
+pub struct StudyResult {
+    /// Metrics of the requested heuristic schedules, labeled, in request
+    /// order.
+    pub heuristics: Vec<(String, MetricValues)>,
+    /// Streaming co-moment accumulator over the oriented metric vectors of
+    /// the random schedules.
+    pub moments: StreamingMoments,
+    /// Rank reservoir over the same rows (exact while the schedule count
+    /// does not exceed its capacity).
+    pub reservoir: RankReservoir,
+    /// Every random schedule's metrics in sampling order — only when
+    /// [`StudyBuilder::buffer_metrics`] was requested.
+    pub random: Option<Vec<MetricValues>>,
+}
+
+impl StudyResult {
+    /// Number of random schedules evaluated.
+    pub fn random_count(&self) -> usize {
+        self.moments.count()
+    }
+
+    /// The streamed Pearson matrix (paper orientation). Agrees with the
+    /// buffered two-pass [`pearson_matrix`] to ~1e-13 per cell.
+    pub fn pearson_streamed(&self) -> CorrMatrix {
+        self.moments.pearson_matrix(&METRIC_LABELS)
+    }
+
+    /// The streamed Spearman matrix — exact while the schedule count is
+    /// within the reservoir capacity, a uniform-sample estimate beyond.
+    pub fn spearman_streamed(&self) -> CorrMatrix {
+        self.reservoir.spearman_matrix(&METRIC_LABELS)
+    }
+}
+
 /// Schedules per work chunk (fixed for thread-count determinism).
 const CHUNK: usize = 64;
 
-/// Runs the §V protocol on one scenario.
+/// Default [`RankReservoir`] capacity: covers the paper's 10 000-schedule
+/// cases' Spearman needs with a 2 000-row margin over its n = 100 tier.
+const DEFAULT_RESERVOIR: usize = 4096;
+
+/// Builder for the §V protocol with pluggable heuristics, evaluator and
+/// output streaming. See the [module docs](self) for the engine contract.
 ///
-/// # Panics
-/// Panics if `random_schedules == 0`.
-pub fn run_case(scenario: &Scenario, cfg: &StudyConfig) -> CaseResult {
-    assert!(cfg.random_schedules > 0, "need at least one schedule");
-    let m = scenario.machine_count();
+/// ```
+/// use robusched_core::StudyBuilder;
+/// use robusched_platform::Scenario;
+///
+/// let scenario = Scenario::paper_random(10, 3, 1.1, 5);
+/// let res = StudyBuilder::new(&scenario)
+///     .random_schedules(200)
+///     .seed(3)
+///     .heuristics(&["HEFT", "BIL"])
+///     .evaluator_named("classic")
+///     .run()
+///     .unwrap();
+/// assert_eq!(res.random_count(), 200);
+/// assert!(res.pearson_streamed().get(1, 5) > 0.9); // σ ~ lateness
+/// ```
+pub struct StudyBuilder<'a> {
+    scenario: &'a Scenario,
+    random_schedules: usize,
+    seed: u64,
+    metric_opts: MetricOptions,
+    threads: Option<usize>,
+    heuristic_names: Vec<String>,
+    evaluator: Box<dyn Evaluator>,
+    evaluator_name: Option<String>,
+    buffer: bool,
+    reservoir_capacity: usize,
+    sink: Option<&'a mut dyn MetricSink>,
+}
 
-    let eval_one = |schedule: &Schedule| -> MetricValues {
-        let rv = evaluate_classic(scenario, schedule);
-        compute_metrics(scenario, schedule, &rv, &cfg.metric_opts)
-    };
-
-    // ---- Random schedules, parallel with fixed chunk seeding. ----
-    let mut random: Vec<MetricValues> = Vec::with_capacity(cfg.random_schedules);
-    {
-        let mut slots: Vec<Option<MetricValues>> = vec![None; cfg.random_schedules];
-        let chunks: Vec<&mut [Option<MetricValues>]> = slots.chunks_mut(CHUNK).collect();
-        let n_chunks = chunks.len();
-        let chunk_slots: Vec<std::sync::Mutex<Option<&mut [Option<MetricValues>]>>> = chunks
-            .into_iter()
-            .map(|c| std::sync::Mutex::new(Some(c)))
-            .collect();
-        let next = AtomicUsize::new(0);
-        let threads = cfg
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1)
-            })
-            .max(1);
-        thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
-                        break;
-                    }
-                    let slice = chunk_slots[c]
-                        .lock()
-                        .unwrap()
-                        .take()
-                        .expect("chunk claimed once");
-                    for (k, slot) in slice.iter_mut().enumerate() {
-                        let idx = c * CHUNK + k;
-                        let sched = random_schedule(
-                            &scenario.graph.dag,
-                            m,
-                            derive_seed(cfg.seed, idx as u64),
-                        );
-                        *slot = Some(eval_one(&sched));
-                    }
-                });
-            }
-        })
-        .expect("study worker panicked");
-        random.extend(slots.into_iter().map(|s| s.expect("all chunks done")));
-    }
-
-    // ---- Heuristics. ----
-    let mut heuristics = Vec::new();
-    if cfg.with_heuristics {
-        heuristics.push(("HEFT".to_string(), eval_one(&heft(scenario))));
-        heuristics.push(("BIL".to_string(), eval_one(&bil(scenario))));
-        heuristics.push(("Hyb.BMCT".to_string(), eval_one(&hyb_bmct(scenario))));
-        if cfg.with_cpop {
-            heuristics.push(("CPOP".to_string(), eval_one(&cpop(scenario))));
+impl<'a> StudyBuilder<'a> {
+    /// A builder with the paper's defaults: 10 000 random schedules, seed
+    /// 1, classic evaluator, no heuristics, streaming only (no buffering).
+    pub fn new(scenario: &'a Scenario) -> Self {
+        Self {
+            scenario,
+            random_schedules: 10_000,
+            seed: 1,
+            metric_opts: MetricOptions::default(),
+            threads: None,
+            heuristic_names: Vec::new(),
+            evaluator: Box::new(ClassicEvaluator::default()),
+            evaluator_name: None,
+            buffer: false,
+            reservoir_capacity: DEFAULT_RESERVOIR,
+            sink: None,
         }
     }
 
-    // ---- Correlation matrix over the random schedules. ----
-    let pearson = pearson_matrix(&random);
+    /// Number of random schedules to sample.
+    pub fn random_schedules(mut self, k: usize) -> Self {
+        self.random_schedules = k;
+        self
+    }
 
+    /// Master seed for schedule sampling (and the rank reservoir).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Probabilistic-metric parameters.
+    pub fn metric_opts(mut self, opts: MetricOptions) -> Self {
+        self.metric_opts = opts;
+        self
+    }
+
+    /// Worker thread count. [`run`](Self::run) rejects 0; builders that
+    /// never call this use all available parallelism.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Worker thread count as an option (`None` = available parallelism) —
+    /// the shape CLI flags arrive in.
+    pub fn threads_opt(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Heuristics to evaluate alongside the random schedules, by registry
+    /// name (see [`robusched_sched::heuristic_by_name`]); resolution
+    /// happens in [`run`](Self::run).
+    pub fn heuristics(mut self, names: &[&str]) -> Self {
+        self.heuristic_names = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// The makespan-distribution backend (any [`Evaluator`] instance, for
+    /// non-default configurations).
+    pub fn evaluator(mut self, evaluator: Box<dyn Evaluator>) -> Self {
+        self.evaluator = evaluator;
+        self.evaluator_name = None;
+        self
+    }
+
+    /// The backend by registry name with its default configuration (see
+    /// [`robusched_stochastic::evaluator_by_name`]); resolution happens in
+    /// [`run`](Self::run).
+    pub fn evaluator_named(mut self, name: &str) -> Self {
+        self.evaluator_name = Some(name.to_string());
+        self
+    }
+
+    /// Also buffer every random schedule's [`MetricValues`] in sampling
+    /// order (`O(n·k)` memory — the legacy pipeline's behavior).
+    pub fn buffer_metrics(mut self, yes: bool) -> Self {
+        self.buffer = yes;
+        self
+    }
+
+    /// Capacity of the Spearman rank reservoir (default 4096; minimum 2,
+    /// checked by [`run`](Self::run)). Studies whose Spearman artifacts
+    /// must stay *exact* rather than sampled set this to the schedule
+    /// count.
+    pub fn reservoir_capacity(mut self, capacity: usize) -> Self {
+        self.reservoir_capacity = capacity;
+        self
+    }
+
+    /// Registers a per-row consumer of the metric stream (e.g. a CSV
+    /// writer); called in sampling order.
+    pub fn sink(mut self, sink: &'a mut dyn MetricSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Runs the study.
+    pub fn run(self) -> Result<StudyResult, StudyError> {
+        if self.random_schedules == 0 {
+            return Err(StudyError::NoSchedules);
+        }
+        if self.threads == Some(0) {
+            return Err(StudyError::ZeroThreads);
+        }
+        if self.reservoir_capacity < 2 {
+            return Err(StudyError::ReservoirTooSmall(self.reservoir_capacity));
+        }
+        let evaluator: Box<dyn Evaluator> = match &self.evaluator_name {
+            None => self.evaluator,
+            Some(name) => robusched_stochastic::evaluator_by_name(name)
+                .ok_or_else(|| StudyError::UnknownEvaluator(name.clone()))?,
+        };
+        let heuristics: Vec<Box<dyn Heuristic>> = self
+            .heuristic_names
+            .iter()
+            .map(|n| heuristic_by_name(n).ok_or_else(|| StudyError::UnknownHeuristic(n.clone())))
+            .collect::<Result<_, _>>()?;
+
+        let scenario = self.scenario;
+        let m = scenario.machine_count();
+        let eval_one = |schedule: &robusched_sched::Schedule| -> MetricValues {
+            let rv = evaluator.evaluate(scenario, schedule);
+            compute_metrics(scenario, schedule, &rv, &self.metric_opts)
+        };
+
+        // ---- Random schedules: parallel chunk computation, in-order
+        // delivery into the accumulators. ----
+        let k = METRIC_LABELS.len();
+        let mut delivery = Delivery {
+            next: 0,
+            pending: BTreeMap::new(),
+            moments: StreamingMoments::new(k),
+            reservoir: RankReservoir::new(k, self.reservoir_capacity, derive_seed(self.seed, !0)),
+            buffer: self
+                .buffer
+                .then(|| Vec::with_capacity(self.random_schedules)),
+            sink: self.sink,
+        };
+        {
+            let n_chunks = self.random_schedules.div_ceil(CHUNK);
+            let next_chunk = AtomicUsize::new(0);
+            let delivery = Mutex::new(&mut delivery);
+            let threads = self
+                .threads
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                })
+                .max(1);
+            thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| loop {
+                        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let lo = c * CHUNK;
+                        let hi = (lo + CHUNK).min(self.random_schedules);
+                        let rows: Vec<MetricValues> = (lo..hi)
+                            .map(|idx| {
+                                let sched = random_schedule(
+                                    &scenario.graph.dag,
+                                    m,
+                                    derive_seed(self.seed, idx as u64),
+                                );
+                                eval_one(&sched)
+                            })
+                            .collect();
+                        delivery.lock().unwrap().deliver(c, lo, rows);
+                    });
+                }
+            })
+            .expect("study worker panicked");
+        }
+        debug_assert!(delivery.pending.is_empty());
+        debug_assert_eq!(delivery.moments.count(), self.random_schedules);
+
+        // ---- Heuristics. ----
+        let mut heuristic_rows = Vec::with_capacity(heuristics.len());
+        for h in &heuristics {
+            let sched = h.schedule(scenario)?;
+            heuristic_rows.push((h.name().to_string(), eval_one(&sched)));
+        }
+
+        Ok(StudyResult {
+            heuristics: heuristic_rows,
+            moments: delivery.moments,
+            reservoir: delivery.reservoir,
+            random: delivery.buffer,
+        })
+    }
+}
+
+/// In-order delivery state: workers hand in finished chunks; chunks are
+/// released to the accumulators strictly by index, so accumulator states
+/// never depend on worker scheduling. Out-of-order chunks wait in
+/// `pending` (bounded by worker-count in practice).
+struct Delivery<'s> {
+    next: usize,
+    pending: BTreeMap<usize, (usize, Vec<MetricValues>)>,
+    moments: StreamingMoments,
+    reservoir: RankReservoir,
+    buffer: Option<Vec<MetricValues>>,
+    sink: Option<&'s mut dyn MetricSink>,
+}
+
+impl Delivery<'_> {
+    fn deliver(&mut self, chunk: usize, first_index: usize, rows: Vec<MetricValues>) {
+        self.pending.insert(chunk, (first_index, rows));
+        while let Some(entry) = self.pending.remove(&self.next) {
+            let (first, rows) = entry;
+            for (off, values) in rows.into_iter().enumerate() {
+                let oriented = values.oriented_vector();
+                self.moments.push(&oriented);
+                self.reservoir.push(&oriented);
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.record(first + off, &values);
+                }
+                if let Some(buf) = &mut self.buffer {
+                    buf.push(values);
+                }
+            }
+            self.next += 1;
+        }
+    }
+}
+
+/// Runs the §V protocol on one scenario with the classic evaluator and the
+/// paper's heuristic list, buffering every metric row.
+///
+/// Thin shim over [`StudyBuilder`], kept so legacy callers and the seed
+/// tests stay bit-for-bit identical (it computes the two-pass
+/// [`pearson_matrix`] over the buffered rows, exactly like the original
+/// monolith).
+///
+/// # Panics
+/// Panics if `random_schedules == 0`.
+#[deprecated(note = "use StudyBuilder: pluggable evaluators/heuristics and streaming accumulators")]
+pub fn run_case(scenario: &Scenario, cfg: &StudyConfig) -> CaseResult {
+    let mut names: Vec<&str> = Vec::new();
+    if cfg.with_heuristics {
+        names.extend(["HEFT", "BIL", "Hyb.BMCT"]);
+        if cfg.with_cpop {
+            names.push("CPOP");
+        }
+    }
+    let res = StudyBuilder::new(scenario)
+        .random_schedules(cfg.random_schedules)
+        .seed(cfg.seed)
+        .metric_opts(cfg.metric_opts)
+        // The monolith clamped threads to ≥ 1 instead of rejecting 0.
+        .threads_opt(cfg.threads.map(|t| t.max(1)))
+        .heuristics(&names)
+        .buffer_metrics(true)
+        .run()
+        .expect("need at least one schedule");
+    let random = res.random.expect("buffering requested");
+    let pearson = pearson_matrix(&random);
     CaseResult {
         random,
-        heuristics,
+        heuristics: res.heuristics,
         pearson,
     }
 }
 
-/// The §VI Pearson matrix of a metric sample (paper orientation).
+/// The §VI Pearson matrix of a buffered metric sample (paper orientation).
 pub fn pearson_matrix(rows: &[MetricValues]) -> CorrMatrix {
     matrix_with(rows, robusched_stats::pearson)
 }
 
-/// Spearman (rank) correlation matrix of a metric sample — an extension
-/// robust to the "slightly curved set of points" the paper notes Pearson
-/// merely tolerates.
+/// Spearman (rank) correlation matrix of a buffered metric sample — an
+/// extension robust to the "slightly curved set of points" the paper notes
+/// Pearson merely tolerates.
 pub fn spearman_matrix(rows: &[MetricValues]) -> CorrMatrix {
     matrix_with(rows, robusched_stats::spearman)
 }
@@ -179,6 +524,7 @@ fn matrix_with(rows: &[MetricValues], corr: fn(&[f64], &[f64]) -> f64) -> CorrMa
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shim is exercised on purpose
 mod tests {
     use super::*;
 
@@ -266,5 +612,178 @@ mod tests {
         for (x, y) in a.random.iter().zip(b.random.iter()) {
             assert_eq!(x.expected_makespan, y.expected_makespan);
         }
+    }
+
+    #[test]
+    fn builder_reproduces_run_case_bit_for_bit() {
+        let scenario = Scenario::paper_random(10, 3, 1.1, 5);
+        let legacy = run_case(&scenario, &quick_cfg(200));
+        let res = StudyBuilder::new(&scenario)
+            .random_schedules(200)
+            .seed(3)
+            .heuristics(&["HEFT", "BIL", "Hyb.BMCT"])
+            .buffer_metrics(true)
+            .run()
+            .unwrap();
+        let random = res.random.as_ref().unwrap();
+        assert_eq!(random.len(), legacy.random.len());
+        for (a, b) in random.iter().zip(legacy.random.iter()) {
+            assert_eq!(a, b);
+        }
+        for ((na, ma), (nb, mb)) in res.heuristics.iter().zip(legacy.heuristics.iter()) {
+            assert_eq!(na, nb);
+            assert_eq!(ma, mb);
+        }
+        let rebuilt = pearson_matrix(random);
+        for i in 0..rebuilt.dim() {
+            for j in 0..rebuilt.dim() {
+                assert_eq!(rebuilt.get(i, j), legacy.pearson.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_matrices_match_buffered_within_1e12() {
+        let scenario = Scenario::paper_random(12, 3, 1.1, 23);
+        let res = StudyBuilder::new(&scenario)
+            .random_schedules(200)
+            .seed(9)
+            .buffer_metrics(true)
+            .run()
+            .unwrap();
+        let rows = res.random.as_ref().unwrap();
+        let pearson_buf = pearson_matrix(rows);
+        let pearson_str = res.pearson_streamed();
+        let spearman_buf = spearman_matrix(rows);
+        let spearman_str = res.spearman_streamed();
+        assert!(res.reservoir.is_exact());
+        for i in 0..pearson_buf.dim() {
+            for j in 0..pearson_buf.dim() {
+                assert!(
+                    (pearson_buf.get(i, j) - pearson_str.get(i, j)).abs() < 1e-12,
+                    "Pearson ({i},{j}): {} vs {}",
+                    pearson_buf.get(i, j),
+                    pearson_str.get(i, j)
+                );
+                assert!(
+                    (spearman_buf.get(i, j) - spearman_str.get(i, j)).abs() < 1e-12,
+                    "Spearman ({i},{j}): {} vs {}",
+                    spearman_buf.get(i, j),
+                    spearman_str.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_moments_identical_across_thread_counts() {
+        let scenario = Scenario::paper_random(10, 3, 1.1, 7);
+        let run_with = |threads: usize| {
+            StudyBuilder::new(&scenario)
+                .random_schedules(130)
+                .seed(3)
+                .threads(threads)
+                .run()
+                .unwrap()
+        };
+        let a = run_with(1);
+        let b = run_with(4);
+        let (pa, pb) = (a.pearson_streamed(), b.pearson_streamed());
+        let (sa, sb) = (a.spearman_streamed(), b.spearman_streamed());
+        for i in 0..pa.dim() {
+            for j in 0..pa.dim() {
+                assert_eq!(pa.get(i, j), pb.get(i, j), "Pearson cell ({i},{j})");
+                assert_eq!(sa.get(i, j), sb.get(i, j), "Spearman cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn sink_receives_rows_in_sampling_order() {
+        let scenario = Scenario::paper_random(10, 3, 1.1, 13);
+        let mut indices = Vec::new();
+        let mut means = Vec::new();
+        let mut sink = |idx: usize, m: &MetricValues| {
+            indices.push(idx);
+            means.push(m.expected_makespan);
+        };
+        let res = StudyBuilder::new(&scenario)
+            .random_schedules(150)
+            .seed(5)
+            .threads(4)
+            .buffer_metrics(true)
+            .sink(&mut sink)
+            .run()
+            .unwrap();
+        assert_eq!(indices, (0..150).collect::<Vec<_>>());
+        let buffered: Vec<f64> = res
+            .random
+            .unwrap()
+            .iter()
+            .map(|m| m.expected_makespan)
+            .collect();
+        assert_eq!(means, buffered);
+    }
+
+    #[test]
+    fn builder_error_paths() {
+        let scenario = Scenario::paper_random(8, 2, 1.1, 1);
+        assert_eq!(
+            StudyBuilder::new(&scenario)
+                .random_schedules(0)
+                .run()
+                .unwrap_err(),
+            StudyError::NoSchedules
+        );
+        assert_eq!(
+            StudyBuilder::new(&scenario)
+                .random_schedules(10)
+                .threads(0)
+                .run()
+                .unwrap_err(),
+            StudyError::ZeroThreads
+        );
+        assert_eq!(
+            StudyBuilder::new(&scenario)
+                .random_schedules(10)
+                .reservoir_capacity(1)
+                .run()
+                .unwrap_err(),
+            StudyError::ReservoirTooSmall(1)
+        );
+        assert_eq!(
+            StudyBuilder::new(&scenario)
+                .random_schedules(10)
+                .heuristics(&["NOPE"])
+                .run()
+                .unwrap_err(),
+            StudyError::UnknownHeuristic("NOPE".into())
+        );
+        assert_eq!(
+            StudyBuilder::new(&scenario)
+                .random_schedules(10)
+                .evaluator_named("exact")
+                .run()
+                .unwrap_err(),
+            StudyError::UnknownEvaluator("exact".into())
+        );
+    }
+
+    #[test]
+    fn swapping_evaluators_preserves_the_cluster() {
+        // The same study under Spelde's backend: σ ~ lateness must stay
+        // strongly correlated (the backbone of the ext-backends study).
+        let scenario = Scenario::paper_random(10, 3, 1.1, 5);
+        let res = StudyBuilder::new(&scenario)
+            .random_schedules(120)
+            .seed(3)
+            .evaluator_named("spelde")
+            .run()
+            .unwrap();
+        let idx = |name: &str| METRIC_LABELS.iter().position(|&l| l == name).unwrap();
+        let r = res
+            .pearson_streamed()
+            .get(idx("makespan_std"), idx("avg_lateness"));
+        assert!(r > 0.9, "Spelde σ~L = {r}");
     }
 }

@@ -14,7 +14,7 @@
 //! (one mean matrix each) and the cross-class `ext_apps_summary.csv`.
 
 use crate::RunOptions;
-use robusched_core::{run_case, spearman_matrix, StudyConfig, METRIC_LABELS};
+use robusched_core::{metric_index, StudyBuilder};
 use robusched_dag::apps::AppClass;
 use robusched_platform::Scenario;
 use robusched_randvar::derive_seed;
@@ -56,12 +56,12 @@ pub struct ClassResult {
 impl ClassResult {
     /// A mean-Pearson cell by metric labels.
     pub fn pearson(&self, a: &str, b: &str) -> f64 {
-        self.pearson_mean.get(label_idx(a), label_idx(b))
+        self.pearson_mean.get(metric_index(a), metric_index(b))
     }
 
     /// A mean-Spearman cell by metric labels.
     pub fn spearman(&self, a: &str, b: &str) -> f64 {
-        self.spearman_mean.get(label_idx(a), label_idx(b))
+        self.spearman_mean.get(metric_index(a), metric_index(b))
     }
 }
 
@@ -72,15 +72,10 @@ pub struct Apps {
     pub classes: Vec<ClassResult>,
 }
 
-fn label_idx(name: &str) -> usize {
-    METRIC_LABELS
-        .iter()
-        .position(|&l| l == name)
-        .unwrap_or_else(|| panic!("unknown metric label {name}"))
-}
-
 /// Runs the study: per class, 2 sizes × 2 uncertainty levels (machine
-/// count scales with size), `run_case` on each, mean/std aggregation.
+/// count scales with size), a streaming [`StudyBuilder`] pass on each
+/// (no metric buffering — Pearson from the co-moment accumulator,
+/// Spearman from the rank reservoir), mean/std aggregation.
 pub fn run(opts: &RunOptions) -> std::io::Result<Apps> {
     let schedules = opts.count(2_000, 60);
     let mut classes = Vec::with_capacity(AppClass::ALL.len());
@@ -97,17 +92,17 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Apps> {
                 let graph = class.generate(n, derive_seed(seed, 1));
                 largest_tasks = largest_tasks.max(graph.task_count());
                 let scenario = Scenario::structured_app(graph, machines, SPEED_COV, ul, seed);
-                let res = run_case(
-                    &scenario,
-                    &StudyConfig {
-                        random_schedules: schedules,
-                        seed: derive_seed(seed, 2),
-                        with_heuristics: false,
-                        ..Default::default()
-                    },
-                );
-                spearmans.push(spearman_matrix(&res.random));
-                pearsons.push(res.pearson);
+                let res = StudyBuilder::new(&scenario)
+                    .random_schedules(schedules)
+                    .seed(derive_seed(seed, 2))
+                    .threads_opt(opts.threads)
+                    // The Spearman CSVs are exact, not sampled, at any
+                    // --scale: size the reservoir to the schedule count.
+                    .reservoir_capacity(schedules.max(2))
+                    .run()
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                spearmans.push(res.spearman_streamed());
+                pearsons.push(res.pearson_streamed());
             }
         }
         let (pearson_mean, pearson_std) = CorrMatrix::aggregate(&pearsons);
@@ -203,6 +198,7 @@ pub fn render(a: &Apps) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use robusched_core::METRIC_LABELS;
 
     #[test]
     fn structured_classes_keep_the_equivalence_cluster() {
@@ -210,6 +206,7 @@ mod tests {
             scale: 0.004,
             out_dir: None,
             seed: 33,
+            threads: None,
         };
         let a = run(&opts).unwrap();
         assert_eq!(a.classes.len(), 5);

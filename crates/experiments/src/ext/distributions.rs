@@ -7,7 +7,7 @@
 //! the equivalence-cluster correlations.
 
 use crate::RunOptions;
-use robusched_core::{run_case, StudyConfig, METRIC_LABELS};
+use robusched_core::{metric_index, StudyBuilder};
 use robusched_platform::{Scenario, UncertaintyKind, UncertaintyModel};
 use robusched_randvar::derive_seed;
 
@@ -27,7 +27,7 @@ pub struct FamilyResult {
 /// Runs the experiment.
 pub fn run(opts: &RunOptions) -> std::io::Result<Vec<FamilyResult>> {
     let schedules = opts.count(2_000, 80);
-    let idx = |n: &str| METRIC_LABELS.iter().position(|&l| l == n).unwrap();
+    let idx = metric_index;
     let mut out = Vec::new();
     for kind in [
         UncertaintyKind::Beta25,
@@ -42,21 +42,16 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Vec<FamilyResult>> {
             let seed = derive_seed(opts.seed, 8000 + k);
             let mut s = Scenario::paper_random(20, 4, 1.1, seed);
             s.uncertainty = UncertaintyModel { ul: 1.1, kind };
-            let res = run_case(
-                &s,
-                &StudyConfig {
-                    random_schedules: schedules,
-                    seed,
-                    with_heuristics: false,
-                    ..Default::default()
-                },
-            );
-            sl.push(res.pearson.get(idx("makespan_std"), idx("avg_lateness")));
-            sa.push(res.pearson.get(idx("makespan_std"), idx("abs_prob")));
-            se.push(
-                res.pearson
-                    .get(idx("makespan_std"), idx("makespan_entropy")),
-            );
+            let res = StudyBuilder::new(&s)
+                .random_schedules(schedules)
+                .seed(seed)
+                .threads_opt(opts.threads)
+                .run()
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            let pearson = res.pearson_streamed();
+            sl.push(pearson.get(idx("makespan_std"), idx("avg_lateness")));
+            sa.push(pearson.get(idx("makespan_std"), idx("abs_prob")));
+            se.push(pearson.get(idx("makespan_std"), idx("makespan_entropy")));
         }
         out.push(FamilyResult {
             kind,
@@ -104,6 +99,7 @@ mod tests {
             scale: 0.08,
             out_dir: None,
             seed: 33,
+            threads: None,
         };
         let rows = run(&opts).unwrap();
         assert_eq!(rows.len(), 3);

@@ -89,6 +89,7 @@ mod tests {
             scale: 0.1,
             out_dir: None,
             seed: 3,
+            threads: None,
         };
         let rows = run(&opts).unwrap();
         let at = |g: usize| rows.iter().find(|r| r.grid == g).copied().unwrap();

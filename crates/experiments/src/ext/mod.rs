@@ -8,8 +8,10 @@
 //! | [`grid_resolution`] | §V's claim that 64-point PDF sampling "was largely sufficient" — accuracy vs grid ablation |
 //! | [`sigma_heuristic`] | "an efficient heuristic … based on the standard deviation of every task's duration" — σ-HEFT vs HEFT |
 //! | [`apps`] | scenario diversity beyond the future-work list: the metric-correlation study on structured application DAGs (Cholesky, LU, FFT, stencil, fork-join) |
+//! | [`backends`] | robustness of the §VI conclusion itself: the correlation protocol re-run under every registered makespan evaluator (classic, Spelde, Dodin, Monte-Carlo) |
 
 pub mod apps;
+pub mod backends;
 pub mod distributions;
 pub mod grid_resolution;
 pub mod pareto;

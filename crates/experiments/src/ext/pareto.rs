@@ -7,7 +7,7 @@
 //! against the same correlation restricted to the best-makespan decile.
 
 use crate::RunOptions;
-use robusched_core::{run_case, StudyConfig};
+use robusched_core::{MetricValues, StudyBuilder};
 use robusched_platform::Scenario;
 use robusched_randvar::derive_seed;
 use robusched_stats::pearson;
@@ -32,20 +32,19 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Pareto> {
     for k in 0..cases {
         let seed = derive_seed(opts.seed, 9000 + k as u64);
         let s = Scenario::paper_random(25, 4, 1.1, seed);
-        let res = run_case(
-            &s,
-            &StudyConfig {
-                random_schedules: schedules,
-                seed,
-                with_heuristics: false,
-                ..Default::default()
-            },
-        );
-        let mut rows: Vec<(f64, f64)> = res
-            .random
-            .iter()
-            .map(|m| (m.expected_makespan, m.makespan_std))
-            .collect();
+        // Streaming pass with a sink: only the (E, σ) pairs this study
+        // needs are kept, not the full metric rows.
+        let mut rows: Vec<(f64, f64)> = Vec::with_capacity(schedules);
+        let mut collect = |_: usize, m: &MetricValues| {
+            rows.push((m.expected_makespan, m.makespan_std));
+        };
+        StudyBuilder::new(&s)
+            .random_schedules(schedules)
+            .seed(seed)
+            .threads_opt(opts.threads)
+            .sink(&mut collect)
+            .run()
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
         let es: Vec<f64> = rows.iter().map(|r| r.0).collect();
         let ss: Vec<f64> = rows.iter().map(|r| r.1).collect();
         full.push(pearson(&es, &ss));
@@ -93,6 +92,7 @@ mod tests {
             scale: 0.15,
             out_dir: None,
             seed: 44,
+            threads: None,
         };
         let p = run(&opts).unwrap();
         assert!(p.full_corr > 0.3, "full corr {}", p.full_corr);

@@ -119,6 +119,7 @@ mod tests {
             scale: 0.5,
             out_dir: None,
             seed: 5,
+            threads: None,
         };
         let r = run(&opts).unwrap();
         // Never catastrophically worse on makespan.

@@ -8,7 +8,7 @@
 //! correlation between expected makespan and makespan standard deviation.
 
 use crate::RunOptions;
-use robusched_core::{run_case, StudyConfig, METRIC_LABELS};
+use robusched_core::{metric_index, StudyBuilder};
 use robusched_platform::Scenario;
 use robusched_randvar::derive_seed;
 
@@ -23,25 +23,22 @@ pub struct VarUl {
     pub cases: usize,
 }
 
-fn makespan_sigma_corr(scenario: &Scenario, schedules: usize, seed: u64) -> f64 {
-    let res = run_case(
-        scenario,
-        &StudyConfig {
-            random_schedules: schedules,
-            seed,
-            with_heuristics: false,
-            ..Default::default()
-        },
-    );
-    let i = METRIC_LABELS
-        .iter()
-        .position(|&l| l == "avg_makespan")
-        .unwrap();
-    let j = METRIC_LABELS
-        .iter()
-        .position(|&l| l == "makespan_std")
-        .unwrap();
-    res.pearson.get(i, j)
+fn makespan_sigma_corr(
+    scenario: &Scenario,
+    schedules: usize,
+    seed: u64,
+    threads: Option<usize>,
+) -> std::io::Result<f64> {
+    // Streaming pass: the per-schedule rows are never materialized.
+    let res = StudyBuilder::new(scenario)
+        .random_schedules(schedules)
+        .seed(seed)
+        .threads_opt(threads)
+        .run()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    Ok(res
+        .pearson_streamed()
+        .get(metric_index("avg_makespan"), metric_index("makespan_std")))
 }
 
 /// Runs the experiment.
@@ -53,7 +50,7 @@ pub fn run(opts: &RunOptions) -> std::io::Result<VarUl> {
     for k in 0..cases {
         let seed = derive_seed(opts.seed, 7000 + k as u64);
         let base = Scenario::paper_random(25, 4, 1.1, seed);
-        const_corrs.push(makespan_sigma_corr(&base, schedules, seed));
+        const_corrs.push(makespan_sigma_corr(&base, schedules, seed, opts.threads)?);
 
         // Same graph & costs, but per-task ULs split between nearly exact
         // and wildly uncertain: the spread no longer tracks the mean.
@@ -68,7 +65,7 @@ pub fn run(opts: &RunOptions) -> std::io::Result<VarUl> {
             })
             .collect();
         let varied = base.with_per_task_ul(uls);
-        var_corrs.push(makespan_sigma_corr(&varied, schedules, seed));
+        var_corrs.push(makespan_sigma_corr(&varied, schedules, seed, opts.threads)?);
     }
     let out = VarUl {
         constant_ul_corr: robusched_stats::mean(&const_corrs),
@@ -108,6 +105,7 @@ mod tests {
             scale: 0.1,
             out_dir: None,
             seed: 21,
+            threads: None,
         };
         let v = run(&opts).unwrap();
         // The paper's conjecture: variable UL decorrelates makespan and σ.

@@ -96,6 +96,7 @@ mod tests {
             scale: 0.02,
             out_dir: None,
             seed: 5,
+            threads: None,
         };
         let pts = run(&opts).unwrap();
         assert_eq!(pts.len(), 3);

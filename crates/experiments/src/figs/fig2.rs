@@ -88,6 +88,7 @@ mod tests {
             scale: 0.1,
             out_dir: None,
             seed: 3,
+            threads: None,
         };
         let o = run(&opts).unwrap();
         assert_eq!(o.xs.len(), 128);

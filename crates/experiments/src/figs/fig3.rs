@@ -41,6 +41,7 @@ mod tests {
             scale: 0.05,
             out_dir: None,
             seed: 1,
+            threads: None,
         };
         let res = run(&opts).unwrap();
         let idx = |n: &str| METRIC_LABELS.iter().position(|&l| l == n).unwrap();
@@ -59,6 +60,7 @@ mod tests {
             scale: 0.05,
             out_dir: None,
             seed: 2,
+            threads: None,
         };
         let res = run(&opts).unwrap();
         let mut sorted: Vec<f64> = res.random.iter().map(|m| m.expected_makespan).collect();

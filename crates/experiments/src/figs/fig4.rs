@@ -41,6 +41,7 @@ mod tests {
             scale: 0.03,
             out_dir: None,
             seed: 4,
+            threads: None,
         };
         let res = run(&opts).unwrap();
         let idx = |n: &str| METRIC_LABELS.iter().position(|&l| l == n).unwrap();

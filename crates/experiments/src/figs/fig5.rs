@@ -45,6 +45,7 @@ mod tests {
             scale: 0.04,
             out_dir: None,
             seed: 5,
+            threads: None,
         };
         let res = run(&opts).unwrap();
         let idx = |n: &str| METRIC_LABELS.iter().position(|&l| l == n).unwrap();

@@ -8,7 +8,7 @@
 
 use crate::cases::tier_a;
 use crate::RunOptions;
-use robusched_core::{run_case, MetricValues, StudyConfig, METRIC_LABELS};
+use robusched_core::{pearson_matrix, MetricValues, StudyBuilder, METRIC_LABELS};
 use robusched_numeric::special::norm_quantile;
 use robusched_stats::{pearson, CorrMatrix};
 
@@ -38,16 +38,16 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Fig6> {
     let mut rel_corrs = Vec::with_capacity(cases.len());
     for case in &cases {
         let scenario = case.scenario();
-        let cfg = StudyConfig {
-            random_schedules: opts.count(case.schedules, 60),
-            seed: case.seed,
-            with_heuristics: false,
-            with_cpop: false,
-            ..Default::default()
-        };
-        let res = run_case(&scenario, &cfg);
-        rel_corrs.push(rel_prob_variants(&res.random));
-        matrices.push(res.pearson);
+        let res = StudyBuilder::new(&scenario)
+            .random_schedules(opts.count(case.schedules, 60))
+            .seed(case.seed)
+            .threads_opt(opts.threads)
+            .buffer_metrics(true)
+            .run()
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let random = res.random.expect("buffering requested");
+        rel_corrs.push(rel_prob_variants(&random));
+        matrices.push(pearson_matrix(&random));
     }
     let (mean, std) = CorrMatrix::aggregate(&matrices);
     let gauss: Vec<f64> = rel_corrs.iter().map(|v| v.gaussian_inversion).collect();
@@ -188,6 +188,7 @@ mod tests {
             scale: 0.008,
             out_dir: None,
             seed: 11,
+            threads: None,
         };
         let f = run(&opts).unwrap();
         assert_eq!(f.cases, 24);

@@ -76,6 +76,7 @@ mod tests {
             scale: 1.0,
             out_dir: None,
             seed: 0,
+            threads: None,
         };
         let f = run(&opts).unwrap();
         // Numerical mean of the special density equals the declared mean.

@@ -66,6 +66,7 @@ mod tests {
             scale: 0.5,
             out_dir: None,
             seed: 0,
+            threads: None,
         };
         let pts = run(&opts).unwrap();
         assert!(pts.len() >= 8);

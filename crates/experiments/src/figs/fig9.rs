@@ -163,6 +163,7 @@ mod tests {
             scale: 1.0,
             out_dir: None,
             seed: 0,
+            threads: None,
         };
         let quads = run(&opts).unwrap();
         let by = |l: &str| {

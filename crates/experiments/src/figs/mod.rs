@@ -10,30 +10,43 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 
-use robusched_core::{run_case, CaseResult, StudyConfig};
+use robusched_core::{pearson_matrix, CaseResult, StudyBuilder};
 use robusched_stats::CorrMatrix;
 
 use crate::cases::Case;
 use crate::report::{metric_csv_header, metric_csv_row};
 use crate::RunOptions;
 
+/// The paper's heuristic set, in registry names.
+pub const PAPER_HEURISTICS: [&str; 3] = ["HEFT", "BIL", "Hyb.BMCT"];
+
 /// Shared driver for the correlation figures (Figs. 3–5): runs one case
 /// with the paper's protocol and writes the per-schedule metric CSV plus
 /// the Pearson matrix.
+///
+/// Buffers the metric rows (the figure CSVs list every schedule) and
+/// computes the two-pass Pearson matrix over them, so the artifacts remain
+/// bit-identical to the pre-`StudyBuilder` pipeline.
 pub fn correlation_figure(
     case: &Case,
     opts: &RunOptions,
     fig_name: &str,
 ) -> std::io::Result<CaseResult> {
     let scenario = case.scenario();
-    let cfg = StudyConfig {
-        random_schedules: opts.count(case.schedules, 60),
-        seed: case.seed,
-        with_heuristics: true,
-        with_cpop: false,
-        ..Default::default()
+    let study = StudyBuilder::new(&scenario)
+        .random_schedules(opts.count(case.schedules, 60))
+        .seed(case.seed)
+        .threads_opt(opts.threads)
+        .heuristics(&PAPER_HEURISTICS)
+        .buffer_metrics(true)
+        .run()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let random = study.random.expect("buffering requested");
+    let res = CaseResult {
+        pearson: pearson_matrix(&random),
+        heuristics: study.heuristics,
+        random,
     };
-    let res = run_case(&scenario, &cfg);
 
     let mut csv = metric_csv_header();
     for (i, m) in res.random.iter().enumerate() {

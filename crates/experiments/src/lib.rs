@@ -18,11 +18,18 @@
 //! Every entry point takes [`RunOptions`]; `scale` shrinks sample counts
 //! proportionally (CI smoke tests use `scale ≈ 0.01`, the paper-faithful
 //! run uses 1.0). All outputs also land as CSV under `out_dir`.
+//!
+//! Every figure and extension study is also registered behind the
+//! [`Experiment`] trait in [`mod@registry`] — the CLI's `list`, `all` and
+//! `ext-all` subcommands and single-name dispatch all read that table.
 
 pub mod cases;
 pub mod ext;
 pub mod figs;
+pub mod registry;
 pub mod report;
+
+pub use registry::{experiment_by_name, registry, render_list, Experiment, ExperimentGroup};
 
 use std::path::PathBuf;
 
@@ -36,6 +43,9 @@ pub struct RunOptions {
     pub out_dir: Option<PathBuf>,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads per study (`None` = available parallelism); fed into
+    /// every `StudyBuilder`/`StudyConfig` the experiments construct.
+    pub threads: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -44,6 +54,7 @@ impl Default for RunOptions {
             scale: 1.0,
             out_dir: Some(PathBuf::from("results")),
             seed: 42,
+            threads: None,
         }
     }
 }

@@ -1,22 +1,29 @@
-//! `robusched-experiments` — regenerate the paper's figures.
+//! `robusched-experiments` — regenerate the paper's figures and the
+//! extension studies.
 //!
 //! ```text
-//! robusched-experiments <fig1|fig2|...|fig9|all> [--scale F] [--seed N]
+//! robusched-experiments <experiment|all|ext-all|list>
+//!                       [--scale F] [--seed N] [--threads N]
 //!                       [--out DIR] [--no-out]
 //! ```
 //!
-//! `--scale 1.0` (default) is paper-faithful: 10 000 random schedules per
-//! case, 100 000 Monte-Carlo realizations. `--scale 0.01` gives a smoke
-//! run in seconds. CSVs land in `--out` (default `results/`).
+//! `list` prints every registered experiment. `--scale 1.0` (default) is
+//! paper-faithful: 10 000 random schedules per case, 100 000 Monte-Carlo
+//! realizations. `--scale 0.01` gives a smoke run in seconds. `--threads`
+//! caps the per-study worker count (default: all cores). CSVs land in
+//! `--out` (default `results/`).
 
-use robusched_experiments::RunOptions;
-use robusched_experiments::{ext, figs};
+use robusched_experiments::{
+    experiment_by_name, registry, render_list, Experiment, ExperimentGroup, RunOptions,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: robusched-experiments <fig1..fig9|ext-ul|ext-dist|ext-pareto|ext-grid|ext-sigma|ext-apps|all|ext-all> [--scale F] [--seed N] [--out DIR] [--no-out]"
+        "usage: robusched-experiments <experiment|all|ext-all|list> \
+         [--scale F] [--seed N] [--threads N] [--out DIR] [--no-out]\n\
+         run `robusched-experiments list` for the registered experiments"
     );
     std::process::exit(2);
 }
@@ -53,6 +60,21 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--threads" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_else(|| usage());
+                match raw.parse::<usize>() {
+                    Ok(0) => {
+                        eprintln!("--threads must be at least 1 (0 workers cannot run a study)");
+                        std::process::exit(2);
+                    }
+                    Ok(v) => opts.threads = Some(v),
+                    Err(_) => {
+                        eprintln!("--threads expects a positive integer, got '{raw}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--out" => {
                 i += 1;
                 opts.out_dir = Some(PathBuf::from(
@@ -68,67 +90,42 @@ fn main() {
         i += 1;
     }
 
-    let run_one = |name: &str, opts: &RunOptions| {
+    let run_one = |e: &dyn Experiment, opts: &RunOptions| {
         let t0 = Instant::now();
-        let text = match name {
-            "fig1" => figs::fig1::render(&figs::fig1::run(opts).expect("fig1 failed")),
-            "fig2" => figs::fig2::render(&figs::fig2::run(opts).expect("fig2 failed")),
-            "fig3" => figs::fig3::render(&figs::fig3::run(opts).expect("fig3 failed")),
-            "fig4" => figs::fig4::render(&figs::fig4::run(opts).expect("fig4 failed")),
-            "fig5" => figs::fig5::render(&figs::fig5::run(opts).expect("fig5 failed")),
-            "fig6" => {
-                let f = figs::fig6::run(opts).expect("fig6 failed");
-                let cmp = figs::fig6::paper_comparison(&f);
-                opts.write_artifact("fig6_paper_comparison.csv", &cmp)
-                    .expect("write failed");
-                figs::fig6::render(&f)
+        match e.run(opts) {
+            Ok(text) => println!("{text}"),
+            Err(err) => {
+                eprintln!("{} failed: {err}", e.name());
+                std::process::exit(1);
             }
-            "fig7" => figs::fig7::render(&figs::fig7::run(opts).expect("fig7 failed")),
-            "fig8" => figs::fig8::render(&figs::fig8::run(opts).expect("fig8 failed")),
-            "fig9" => figs::fig9::render(&figs::fig9::run(opts).expect("fig9 failed")),
-            "ext-ul" => ext::var_ul::render(&ext::var_ul::run(opts).expect("ext-ul failed")),
-            "ext-dist" => {
-                ext::distributions::render(&ext::distributions::run(opts).expect("ext-dist failed"))
-            }
-            "ext-pareto" => {
-                ext::pareto::render(&ext::pareto::run(opts).expect("ext-pareto failed"))
-            }
-            "ext-grid" => ext::grid_resolution::render(
-                &ext::grid_resolution::run(opts).expect("ext-grid failed"),
-            ),
-            "ext-sigma" => ext::sigma_heuristic::render(
-                &ext::sigma_heuristic::run(opts).expect("ext-sigma failed"),
-            ),
-            "ext-apps" => ext::apps::render(&ext::apps::run(opts).expect("ext-apps failed")),
-            other => {
-                eprintln!("unknown figure {other}");
-                usage();
-            }
-        };
-        println!("{text}");
-        eprintln!("[{name} done in {:.1?}]", t0.elapsed());
+        }
+        eprintln!("[{} done in {:.1?}]", e.name(), t0.elapsed());
     };
 
     match cmd.as_str() {
+        "list" => print!("{}", render_list()),
         "all" => {
-            for f in [
-                "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            ] {
-                run_one(f, &opts);
+            for e in registry()
+                .iter()
+                .filter(|e| e.group() == ExperimentGroup::Figure)
+            {
+                run_one(e, &opts);
             }
         }
         "ext-all" => {
-            for f in [
-                "ext-ul",
-                "ext-dist",
-                "ext-pareto",
-                "ext-grid",
-                "ext-sigma",
-                "ext-apps",
-            ] {
-                run_one(f, &opts);
+            for e in registry()
+                .iter()
+                .filter(|e| e.group() == ExperimentGroup::Extension)
+            {
+                run_one(e, &opts);
             }
         }
-        name => run_one(name, &opts),
+        name => match experiment_by_name(name) {
+            Some(e) => run_one(e, &opts),
+            None => {
+                eprintln!("unknown experiment {name}");
+                usage();
+            }
+        },
     }
 }

@@ -23,12 +23,17 @@
 //!   evaluated set;
 //! * [`random`] — the paper's random schedule generator (uniform ready task
 //!   → uniform processor → eager placement).
+//!
+//! [`heuristic`] wraps all of the above behind the object-safe
+//! [`Heuristic`] trait with a by-name [`registry`], so studies can swap
+//! heuristics without naming concrete functions.
 
 pub mod bil;
 pub mod bmct;
 pub mod cpop;
 pub mod eager;
 pub mod heft;
+pub mod heuristic;
 pub mod random;
 pub mod rank;
 pub mod robust;
@@ -40,6 +45,7 @@ pub use bmct::hyb_bmct;
 pub use cpop::cpop;
 pub use eager::{EagerPlan, ExecResult};
 pub use heft::heft;
+pub use heuristic::{heuristic_by_name, registry, Heuristic};
 pub use random::random_schedule;
 pub use rank::{downward_ranks, upward_ranks};
 pub use robust::sigma_heft;
@@ -50,27 +56,48 @@ use robusched_platform::Scenario;
 /// Deterministic makespan of a schedule under the minimum durations — the
 /// objective every makespan-centric heuristic optimizes.
 ///
+/// Fallible variant of [`det_makespan`] for library consumers that may hold
+/// externally supplied (possibly invalid) schedules.
+pub fn try_det_makespan(scenario: &Scenario, schedule: &Schedule) -> Result<f64, ScheduleError> {
+    let plan = EagerPlan::new(&scenario.graph.dag, schedule)?;
+    Ok(plan
+        .execute(
+            &scenario.graph.dag,
+            |v| scenario.det_task_cost(v, schedule.machine_of(v)),
+            |e, u, v| scenario.det_comm_cost(e, schedule.machine_of(u), schedule.machine_of(v)),
+        )
+        .makespan)
+}
+
+/// Panicking wrapper around [`try_det_makespan`] (kept for the figure code
+/// and tests, where every schedule is constructed valid).
+///
 /// # Panics
 /// Panics if the schedule is invalid for the scenario's graph.
 pub fn det_makespan(scenario: &Scenario, schedule: &Schedule) -> f64 {
-    let plan = EagerPlan::new(&scenario.graph.dag, schedule).expect("invalid schedule");
-    plan.execute(
-        &scenario.graph.dag,
-        |v| scenario.det_task_cost(v, schedule.machine_of(v)),
-        |e, u, v| scenario.det_comm_cost(e, schedule.machine_of(u), schedule.machine_of(v)),
-    )
-    .makespan
+    try_det_makespan(scenario, schedule).expect("invalid schedule")
 }
 
 /// Mean-duration makespan (used by the slack metrics, which the paper
 /// computes "by taking the average value of the makespan, the task duration
 /// and the communication duration").
+///
+/// Fallible variant of [`mean_makespan`].
+pub fn try_mean_makespan(scenario: &Scenario, schedule: &Schedule) -> Result<f64, ScheduleError> {
+    let plan = EagerPlan::new(&scenario.graph.dag, schedule)?;
+    Ok(plan
+        .execute(
+            &scenario.graph.dag,
+            |v| scenario.mean_task_cost(v, schedule.machine_of(v)),
+            |e, u, v| scenario.mean_comm_cost(e, schedule.machine_of(u), schedule.machine_of(v)),
+        )
+        .makespan)
+}
+
+/// Panicking wrapper around [`try_mean_makespan`].
+///
+/// # Panics
+/// Panics if the schedule is invalid for the scenario's graph.
 pub fn mean_makespan(scenario: &Scenario, schedule: &Schedule) -> f64 {
-    let plan = EagerPlan::new(&scenario.graph.dag, schedule).expect("invalid schedule");
-    plan.execute(
-        &scenario.graph.dag,
-        |v| scenario.mean_task_cost(v, schedule.machine_of(v)),
-        |e, u, v| scenario.mean_comm_cost(e, schedule.machine_of(u), schedule.machine_of(v)),
-    )
-    .makespan
+    try_mean_makespan(scenario, schedule).expect("invalid schedule")
 }

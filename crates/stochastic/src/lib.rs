@@ -21,6 +21,10 @@
 //!   realizations replayed through the eager executor, parallelized with
 //!   crossbeam and deterministic regardless of thread count.
 //!
+//! [`evaluator`] puts all four behind the object-safe [`Evaluator`] trait
+//! (with a by-name [`registry`]) so studies can swap the backend without
+//! naming concrete functions.
+//!
 //! [`disjunctive`] builds the schedule-augmented precedence graph
 //! (§II: "adding edges between independent tasks when they are scheduled
 //! consecutively on the same processor"); [`accuracy`] measures the KS and
@@ -32,6 +36,7 @@ pub mod classic;
 pub mod criticality;
 pub mod disjunctive;
 pub mod dodin;
+pub mod evaluator;
 pub mod montecarlo;
 pub mod spelde;
 
@@ -40,5 +45,9 @@ pub use classic::{evaluate_classic, evaluate_classic_full};
 pub use criticality::criticality_indices;
 pub use disjunctive::DisjunctiveGraph;
 pub use dodin::evaluate_dodin;
+pub use evaluator::{
+    evaluator_by_name, registry, ClassicEvaluator, DodinEvaluator, Evaluator, MonteCarloEvaluator,
+    SpeldeEvaluator,
+};
 pub use montecarlo::{mc_makespans, McConfig};
 pub use spelde::{evaluate_spelde, SpeldeResult};

@@ -1,11 +1,14 @@
-//! Mini correlation study: the paper's §VI protocol on one case, printed
-//! as the combined Pearson matrix (this is Fig. 3/4/5 at example scale).
+//! Mini correlation study: the paper's §VI protocol on one case through
+//! the streaming `StudyBuilder` engine, printed as the combined Pearson
+//! matrix (this is Fig. 3/4/5 at example scale). No metric row is ever
+//! buffered: the matrix comes from the Welford co-moment accumulator and
+//! the best random makespan from a streaming sink.
 //!
 //! ```text
 //! cargo run --release --example metric_correlations [n_tasks] [machines] [schedules]
 //! ```
 
-use robusched::core::{run_case, StudyConfig, METRIC_LABELS};
+use robusched::core::{MetricValues, StudyBuilder, METRIC_LABELS};
 use robusched::platform::Scenario;
 
 fn main() {
@@ -15,16 +18,18 @@ fn main() {
     let k: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(500);
 
     let scenario = Scenario::paper_random(n, m, 1.01, 11);
-    let res = run_case(
-        &scenario,
-        &StudyConfig {
-            random_schedules: k,
-            seed: 3,
-            with_heuristics: true,
-            with_cpop: true,
-            ..Default::default()
-        },
-    );
+    let mut best = f64::INFINITY;
+    let mut track_best = |_: usize, mv: &MetricValues| {
+        best = best.min(mv.expected_makespan);
+    };
+    let res = StudyBuilder::new(&scenario)
+        .random_schedules(k)
+        .seed(3)
+        .heuristics(&["HEFT", "BIL", "Hyb.BMCT", "CPOP"])
+        .sink(&mut track_best)
+        .run()
+        .expect("study failed");
+    let pearson = res.pearson_streamed();
 
     println!(
         "Pearson correlations over {k} random schedules ({n} tasks, {m} machines, UL = 1.01)\n"
@@ -41,18 +46,13 @@ fn main() {
             if i == j {
                 print!("{:>10}", "—");
             } else {
-                print!("{:>10.3}", res.pearson.get(i, j));
+                print!("{:>10.3}", pearson.get(i, j));
             }
         }
         println!();
     }
 
     println!("\nheuristics vs the random cloud:");
-    let best = res
-        .random
-        .iter()
-        .map(|mv| mv.expected_makespan)
-        .fold(f64::INFINITY, f64::min);
     for (name, mv) in &res.heuristics {
         println!(
             "  {name:>9}: E(M) = {:.2} ({:+.1}% vs best random), σ_M = {:.4}",

@@ -13,6 +13,7 @@ fn ext_apps_smoke_run_emits_per_class_csvs() {
         scale: 0.004,
         out_dir: Some(dir.clone()),
         seed: 5,
+        threads: None,
     };
     let a = apps::run(&opts).expect("study failed");
 

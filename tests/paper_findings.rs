@@ -3,6 +3,8 @@
 //! Each test encodes one claim of §VI–§VIII so a regression anywhere in
 //! the stack that would change the *science* fails loudly.
 
+#![allow(deprecated)] // pins the legacy run_case surface on purpose
+
 use robusched::core::{run_case, StudyConfig, METRIC_LABELS};
 use robusched::platform::Scenario;
 use robusched::randvar::{ConcatBeta, DiscreteRv, Normal};

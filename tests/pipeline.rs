@@ -1,5 +1,7 @@
 //! Integration: the full pipeline from generation to correlation matrices.
 
+#![allow(deprecated)] // pins the legacy run_case surface on purpose
+
 use robusched::core::{compute_metrics, run_case, MetricOptions, StudyConfig, METRIC_LABELS};
 use robusched::platform::Scenario;
 use robusched::sched::{bil, cpop, det_makespan, heft, hyb_bmct, random_schedule};

@@ -6,6 +6,8 @@
 //! matrix — in a few seconds, so CI catches pipeline-level regressions
 //! immediately.
 
+#![allow(deprecated)] // pins the legacy run_case surface on purpose
+
 use robusched::core::{run_case, StudyConfig, METRIC_LABELS};
 use robusched::platform::Scenario;
 
