@@ -6,8 +6,10 @@ use robusched_bench::{bench_app_scenario, bench_scenario, bench_scenario_medium,
 use robusched_core::run_case;
 use robusched_core::{StudyBuilder, StudyConfig};
 use robusched_dag::apps::AppClass;
-use robusched_numeric::convolution::{convolve_direct, convolve_fft, convolve_overlap_add};
-use robusched_randvar::{DiscreteRv, ScaledBeta};
+use robusched_numeric::convolution::{
+    convolve_auto, convolve_direct, convolve_fft, convolve_overlap_add,
+};
+use robusched_randvar::{DiscreteRv, RvWorkspace, ScaledBeta};
 use robusched_sched::{bil, cpop, heft, hyb_bmct, random_schedule, sigma_heft};
 use robusched_stochastic::{
     evaluate_classic, evaluate_dodin, evaluate_spelde, mc_makespans, McConfig,
@@ -15,19 +17,29 @@ use robusched_stochastic::{
 use std::hint::black_box;
 
 fn convolution_kernels(c: &mut Criterion) {
-    let a: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin().abs()).collect();
-    let b: Vec<f64> = (0..256).map(|i| 1.0 / (1.0 + i as f64)).collect();
-    let mut g = c.benchmark_group("convolution-256");
-    g.bench_function("direct", |bch| {
-        bch.iter(|| convolve_direct(black_box(&a), black_box(&b)))
-    });
-    g.bench_function("fft", |bch| {
-        bch.iter(|| convolve_fft(black_box(&a), black_box(&b)))
-    });
-    g.bench_function("overlap_add", |bch| {
-        bch.iter(|| convolve_overlap_add(black_box(&a), black_box(&b), 64))
-    });
-    g.finish();
+    // The 64/1024 pair brackets the direct↔FFT crossover so a stale
+    // `convolve_auto` cost model shows up as an `auto` line tracking the
+    // wrong kernel; 256 sits near the break-even.
+    for n in [64usize, 256, 1024] {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin().abs()).collect();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut g = c.benchmark_group(format!("convolution-{n}"));
+        g.bench_function("direct", |bch| {
+            bch.iter(|| convolve_direct(black_box(&a), black_box(&b)))
+        });
+        g.bench_function("fft", |bch| {
+            bch.iter(|| convolve_fft(black_box(&a), black_box(&b)))
+        });
+        g.bench_function("auto", |bch| {
+            bch.iter(|| convolve_auto(black_box(&a), black_box(&b)))
+        });
+        if n == 256 {
+            g.bench_function("overlap_add", |bch| {
+                bch.iter(|| convolve_overlap_add(black_box(&a), black_box(&b), 64))
+            });
+        }
+        g.finish();
+    }
 }
 
 fn rv_calculus(c: &mut Criterion) {
@@ -35,6 +47,15 @@ fn rv_calculus(c: &mut Criterion) {
     let y = DiscreteRv::from_dist_default(&ScaledBeta::paper_default(15.0, 1.1));
     let mut g = c.benchmark_group("discrete-rv");
     g.bench_function("sum", |b| b.iter(|| black_box(&x).sum(black_box(&y))));
+    g.bench_function("sum-into", |b| {
+        // The fully allocation-free path: explicit workspace + reused output.
+        let mut ws = RvWorkspace::new();
+        let mut out = DiscreteRv::point(0.0);
+        b.iter(|| {
+            black_box(&x).sum_into(black_box(&y), &mut ws, &mut out);
+            out.mean()
+        })
+    });
     g.bench_function("max", |b| b.iter(|| black_box(&x).max(black_box(&y))));
     g.bench_function("mean+std", |b| {
         b.iter(|| (black_box(&x).mean(), black_box(&x).std_dev()))
@@ -156,6 +177,14 @@ fn evaluators(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("classic-30", |b| {
         b.iter(|| evaluate_classic(black_box(&s), black_box(&sched)))
+    });
+    g.bench_function("classic-30-prepared", |b| {
+        // The study engine's path: shared discretization cache + per-worker
+        // context, amortized over the whole schedule stream.
+        use robusched_stochastic::{ClassicEvaluator, EvalContext, Evaluator};
+        let e = ClassicEvaluator::default();
+        let mut cx = EvalContext::new(e.prepare(&s));
+        b.iter(|| e.evaluate_with(black_box(&s), black_box(&sched), &mut cx))
     });
     g.bench_function("spelde-30", |b| {
         b.iter(|| evaluate_spelde(black_box(&s), black_box(&sched)))

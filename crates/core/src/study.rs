@@ -35,7 +35,7 @@ use robusched_platform::Scenario;
 use robusched_randvar::derive_seed;
 use robusched_sched::{heuristic_by_name, random_schedule, Heuristic, ScheduleError};
 use robusched_stats::CorrMatrix;
-use robusched_stochastic::{ClassicEvaluator, Evaluator};
+use robusched_stochastic::{ClassicEvaluator, EvalContext, Evaluator};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -342,10 +342,16 @@ impl<'a> StudyBuilder<'a> {
 
         let scenario = self.scenario;
         let m = scenario.machine_count();
-        let eval_one = |schedule: &robusched_sched::Schedule| -> MetricValues {
-            let rv = evaluator.evaluate(scenario, schedule);
-            compute_metrics(scenario, schedule, &rv, &self.metric_opts)
-        };
+        // Shared read-only precomputation (e.g. the scenario discretization
+        // cache), built once and handed to every worker's context; the
+        // contexts themselves carry per-thread scratch reused across all
+        // schedules of that worker.
+        let prep = evaluator.prepare(scenario);
+        let eval_one =
+            |cx: &mut EvalContext, schedule: &robusched_sched::Schedule| -> MetricValues {
+                let rv = evaluator.evaluate_with(scenario, schedule, cx);
+                compute_metrics(scenario, schedule, &rv, &self.metric_opts)
+            };
 
         // ---- Random schedules: parallel chunk computation, in-order
         // delivery into the accumulators. ----
@@ -374,24 +380,30 @@ impl<'a> StudyBuilder<'a> {
                 .max(1);
             thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|_| loop {
-                        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
-                        if c >= n_chunks {
-                            break;
+                    scope.spawn(|_| {
+                        // One context per worker: the shared prep is an Arc
+                        // clone, the scratch buffers warm up on the first
+                        // schedule and are reused for every one after.
+                        let mut cx = EvalContext::new(prep.clone());
+                        loop {
+                            let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                            if c >= n_chunks {
+                                break;
+                            }
+                            let lo = c * CHUNK;
+                            let hi = (lo + CHUNK).min(self.random_schedules);
+                            let rows: Vec<MetricValues> = (lo..hi)
+                                .map(|idx| {
+                                    let sched = random_schedule(
+                                        &scenario.graph.dag,
+                                        m,
+                                        derive_seed(self.seed, idx as u64),
+                                    );
+                                    eval_one(&mut cx, &sched)
+                                })
+                                .collect();
+                            delivery.lock().unwrap().deliver(c, lo, rows);
                         }
-                        let lo = c * CHUNK;
-                        let hi = (lo + CHUNK).min(self.random_schedules);
-                        let rows: Vec<MetricValues> = (lo..hi)
-                            .map(|idx| {
-                                let sched = random_schedule(
-                                    &scenario.graph.dag,
-                                    m,
-                                    derive_seed(self.seed, idx as u64),
-                                );
-                                eval_one(&sched)
-                            })
-                            .collect();
-                        delivery.lock().unwrap().deliver(c, lo, rows);
                     });
                 }
             })
@@ -401,10 +413,11 @@ impl<'a> StudyBuilder<'a> {
         debug_assert_eq!(delivery.moments.count(), self.random_schedules);
 
         // ---- Heuristics. ----
+        let mut cx = EvalContext::new(prep.clone());
         let mut heuristic_rows = Vec::with_capacity(heuristics.len());
         for h in &heuristics {
             let sched = h.schedule(scenario)?;
-            heuristic_rows.push((h.name().to_string(), eval_one(&sched)));
+            heuristic_rows.push((h.name().to_string(), eval_one(&mut cx, &sched)));
         }
 
         Ok(StudyResult {

@@ -12,14 +12,24 @@ use crate::kahan::KahanSum;
 ///
 /// Returns 0 for fewer than two samples.
 pub fn trapezoid_uniform(y: &[f64], h: f64) -> f64 {
-    if y.len() < 2 {
+    trapezoid_uniform_fn(y.len(), h, |i| y[i])
+}
+
+/// [`trapezoid_uniform`] over virtual samples `f(0), …, f(n-1)`.
+///
+/// The closure form lets callers integrate derived quantities (`x·f(x)`,
+/// `−f·ln f`, tails of a PDF, …) without materializing the sample vector;
+/// the summation order — and therefore the floating-point result — is
+/// identical to the slice form.
+pub fn trapezoid_uniform_fn(n: usize, h: f64, f: impl Fn(usize) -> f64) -> f64 {
+    if n < 2 {
         return 0.0;
     }
     let mut s = KahanSum::new();
-    for &v in &y[1..y.len() - 1] {
-        s.add(v);
+    for i in 1..n - 1 {
+        s.add(f(i));
     }
-    h * (0.5 * (y[0] + y[y.len() - 1]) + s.value())
+    h * (0.5 * (f(0) + f(n - 1)) + s.value())
 }
 
 /// Composite Simpson rule over uniformly spaced samples `y` with step `h`.
@@ -29,12 +39,19 @@ pub fn trapezoid_uniform(y: &[f64], h: f64) -> f64 {
 /// correction, which keeps the composite order ~O(h⁴) on the smooth PDFs we
 /// integrate. Returns 0 for fewer than two samples.
 pub fn simpson_uniform(y: &[f64], h: f64) -> f64 {
-    let n = y.len();
+    simpson_uniform_fn(y.len(), h, |i| y[i])
+}
+
+/// [`simpson_uniform`] over virtual samples `f(0), …, f(n-1)`.
+///
+/// Same summation order as the slice form, so the results are bit-identical
+/// when `f(i)` returns the slice values.
+pub fn simpson_uniform_fn(n: usize, h: f64, f: impl Fn(usize) -> f64) -> f64 {
     if n < 2 {
         return 0.0;
     }
     if n == 2 {
-        return trapezoid_uniform(y, h);
+        return trapezoid_uniform_fn(n, h, f);
     }
     // Largest odd prefix gets pure Simpson; a trailing even interval (if any)
     // gets the trapezoid rule.
@@ -43,17 +60,17 @@ pub fn simpson_uniform(y: &[f64], h: f64) -> f64 {
     let mut s2 = KahanSum::new();
     let mut i = 1;
     while i < m - 1 {
-        s4.add(y[i]);
+        s4.add(f(i));
         i += 2;
     }
     let mut i = 2;
     while i < m - 1 {
-        s2.add(y[i]);
+        s2.add(f(i));
         i += 2;
     }
-    let mut total = h / 3.0 * (y[0] + y[m - 1] + 4.0 * s4.value() + 2.0 * s2.value());
+    let mut total = h / 3.0 * (f(0) + f(m - 1) + 4.0 * s4.value() + 2.0 * s2.value());
     if n.is_multiple_of(2) {
-        total += 0.5 * h * (y[n - 2] + y[n - 1]);
+        total += 0.5 * h * (f(n - 2) + f(n - 1));
     }
     total
 }
@@ -63,17 +80,24 @@ pub fn simpson_uniform(y: &[f64], h: f64) -> f64 {
 /// `out[0] = 0` and `out.len() == y.len()`. This is how sampled PDFs become
 /// sampled CDFs.
 pub fn cumulative_trapezoid(y: &[f64], h: f64) -> Vec<f64> {
-    let mut out = Vec::with_capacity(y.len());
+    let mut out = Vec::new();
+    cumulative_trapezoid_into(y, h, &mut out);
+    out
+}
+
+/// [`cumulative_trapezoid`] into caller-owned storage (cleared first).
+pub fn cumulative_trapezoid_into(y: &[f64], h: f64, out: &mut Vec<f64>) {
+    out.clear();
     if y.is_empty() {
-        return out;
+        return;
     }
+    out.reserve(y.len());
     out.push(0.0);
     let mut acc = KahanSum::new();
     for w in y.windows(2) {
         acc.add(0.5 * h * (w[0] + w[1]));
         out.push(acc.value());
     }
-    out
 }
 
 /// Integrates `f` over `[a, b]` by sampling `n` points and applying Simpson.

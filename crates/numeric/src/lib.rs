@@ -33,11 +33,13 @@ pub mod roots;
 pub mod smooth;
 pub mod special;
 
-pub use convolution::{convolve_direct, convolve_fft, convolve_overlap_add};
-pub use fft::{fft_inplace, ifft_inplace, Complex};
+pub use convolution::{
+    convolve_auto, convolve_auto_into, convolve_direct, convolve_fft, convolve_overlap_add,
+};
+pub use fft::{fft_inplace, ifft_inplace, Complex, FftPlan};
 pub use grid::linspace;
 pub use integrate::{cumulative_trapezoid, simpson_uniform, trapezoid_uniform};
-pub use interp::{CubicSpline, LinearInterp};
+pub use interp::{CubicSpline, LinearInterp, SplineScratch, UniformLocalCubic, UniformSpline};
 pub use kahan::KahanSum;
 pub use special::{erf, erfc, ln_gamma, norm_cdf, norm_pdf, reg_inc_beta, reg_inc_gamma};
 

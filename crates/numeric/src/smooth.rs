@@ -39,22 +39,18 @@ pub fn moving_average(y: &[f64], half: usize) -> Vec<f64> {
     out
 }
 
-/// Clamps tiny negative values (numerical noise from differentiation) to
-/// zero. PDFs must be non-negative; values below `-tol` are a genuine error
-/// and are reported via the returned flag rather than silently clamped.
+/// Clamps negative values (numerical noise from differentiation or spline
+/// overshoot) to zero — PDFs must be non-negative.
 ///
-/// Returns `true` if any value was more negative than `-tol`.
-pub fn clamp_nonnegative(y: &mut [f64], tol: f64) -> bool {
-    let mut suspicious = false;
+/// The original signature carried a `tol` threshold and returned a
+/// "suspiciously negative" flag, but every call site passed `f64::INFINITY`
+/// and ignored the result, so both were dropped from the hot path.
+pub fn clamp_nonnegative(y: &mut [f64]) {
     for v in y.iter_mut() {
         if *v < 0.0 {
-            if *v < -tol {
-                suspicious = true;
-            }
             *v = 0.0;
         }
     }
-    suspicious
 }
 
 #[cfg(test)]
@@ -97,13 +93,9 @@ mod tests {
     }
 
     #[test]
-    fn clamp_reports_large_negatives() {
-        let mut y = vec![0.5, -1e-15, 0.25];
-        assert!(!clamp_nonnegative(&mut y, 1e-9));
-        assert_eq!(y[1], 0.0);
-
-        let mut z = vec![0.5, -0.2, 0.25];
-        assert!(clamp_nonnegative(&mut z, 1e-9));
-        assert_eq!(z[1], 0.0);
+    fn clamp_zeroes_all_negatives() {
+        let mut y = vec![0.5, -1e-15, 0.25, -0.2];
+        clamp_nonnegative(&mut y);
+        assert_eq!(y, vec![0.5, 0.0, 0.25, 0.0]);
     }
 }

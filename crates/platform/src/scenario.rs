@@ -179,16 +179,17 @@ impl Scenario {
 
     /// Standard deviation of task `i`'s duration on machine `p` — the
     /// ingredient of the σ-aware heuristic the paper's future work asks
-    /// for.
+    /// for. Closed-form (no distribution is materialized): heuristics
+    /// query this per placement candidate.
     pub fn std_task_cost(&self, i: NodeId, p: usize) -> f64 {
-        use robusched_randvar::Dist;
-        self.task_dist(i, p).std_dev()
+        self.uncertainty
+            .std_weight_with_ul(self.det_task_cost(i, p), self.task_ul(i))
     }
 
-    /// Standard deviation of edge `e`'s communication time on `(p, q)`.
+    /// Standard deviation of edge `e`'s communication time on `(p, q)`
+    /// (closed-form, like [`Scenario::std_task_cost`]).
     pub fn std_comm_cost(&self, e: EdgeId, p: usize, q: usize) -> f64 {
-        use robusched_randvar::Dist;
-        self.comm_dist(e, p, q).std_dev()
+        self.uncertainty.std_weight(self.det_comm_cost(e, p, q))
     }
 
     /// Average duration of task `i` across machines (deterministic values;

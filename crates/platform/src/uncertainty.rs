@@ -109,6 +109,28 @@ impl UncertaintyModel {
             UncertaintyKind::Triangular => w + (ul - 1.0) * w * 0.4,
         }
     }
+
+    /// Standard deviation of the weight RV without materializing it:
+    /// `(UL−1)·w·σ_base`. Heuristics query σ per (task, machine) candidate
+    /// on their hot path, where building a distribution just to read a
+    /// closed-form moment dominated the cost.
+    pub fn std_weight(&self, w: f64) -> f64 {
+        self.std_weight_with_ul(w, self.ul)
+    }
+
+    /// [`UncertaintyModel::std_weight`] with an explicit uncertainty level.
+    pub fn std_weight_with_ul(&self, w: f64, ul: f64) -> f64 {
+        let base_std = match self.kind {
+            UncertaintyKind::None => return 0.0,
+            // √Var of the unit-support base shapes: Beta(2, 5) has
+            // αβ/((α+β)²(α+β+1)) = 10/392; U(0, 1) has 1/12;
+            // Tri(0, 0.2, 1) has (a²+b²+c²−ab−ac−bc)/18 = 0.84/18.
+            UncertaintyKind::Beta25 => (10.0f64 / 392.0).sqrt(),
+            UncertaintyKind::Uniform => (1.0f64 / 12.0).sqrt(),
+            UncertaintyKind::Triangular => (0.84f64 / 18.0).sqrt(),
+        };
+        (ul - 1.0) * w * base_std
+    }
 }
 
 /// A weight's distribution, statically dispatched across the small closed
@@ -217,6 +239,29 @@ mod tests {
                 d.mean()
             );
         }
+    }
+
+    #[test]
+    fn std_weight_matches_distribution() {
+        for kind in [
+            UncertaintyKind::Beta25,
+            UncertaintyKind::Uniform,
+            UncertaintyKind::Triangular,
+            UncertaintyKind::None,
+        ] {
+            let u = UncertaintyModel { ul: 1.4, kind };
+            let d = u.weight_dist(10.0);
+            assert!(
+                (u.std_weight(10.0) - d.std_dev()).abs() < 1e-9,
+                "{kind:?}: {} vs {}",
+                u.std_weight(10.0),
+                d.std_dev()
+            );
+        }
+        // Degenerate weights and UL = 1 give zero spread.
+        let u = UncertaintyModel::paper(1.5);
+        assert_eq!(u.std_weight(0.0), 0.0);
+        assert_eq!(u.std_weight_with_ul(7.0, 1.0), 0.0);
     }
 
     #[test]

@@ -23,6 +23,15 @@ pub struct Beta {
     beta: f64,
     /// Precomputed `ln B(α, β)` so the hot PDF path skips the gammas.
     ln_b: f64,
+    /// Precomputed `1/B(α, β)`.
+    inv_b: f64,
+    /// `Some((α−1, β−1))` when both shapes are small integers: the density
+    /// is then the polynomial `x^{α−1}(1−x)^{β−1}/B`, which `powi`
+    /// evaluates an order of magnitude faster than the general
+    /// `exp(ln ...)` path — and scenario discretization samples this
+    /// function 64 times per distribution. The paper's Beta(2, 5) always
+    /// takes this branch.
+    int_pow: Option<(i32, i32)>,
 }
 
 impl Beta {
@@ -35,10 +44,33 @@ impl Beta {
             alpha > 0.0 && alpha.is_finite() && beta > 0.0 && beta.is_finite(),
             "beta shapes must be positive and finite, got ({alpha}, {beta})"
         );
+        let int_pow =
+            if alpha.fract() == 0.0 && beta.fract() == 0.0 && alpha <= 32.0 && beta <= 32.0 {
+                Some((alpha as i32 - 1, beta as i32 - 1))
+            } else {
+                None
+            };
+        // For integer shapes B(α, β) = (α−1)!(β−1)!/(α+β−1)! is an exact
+        // small rational — a handful of multiplies, where the general
+        // `ln_beta` route costs three `ln_gamma` evaluations. Heuristics
+        // construct a Beta per cost query, so constructor cost is hot.
+        let (ln_b, inv_b) = match int_pow {
+            Some((a1, b1)) => {
+                let fact = |k: i32| (1..=k as u64).map(|i| i as f64).product::<f64>();
+                let b_val = fact(a1) * fact(b1) / fact(a1 + b1 + 1);
+                (b_val.ln(), 1.0 / b_val)
+            }
+            None => {
+                let ln_b = ln_beta(alpha, beta);
+                (ln_b, (-ln_b).exp())
+            }
+        };
         Self {
             alpha,
             beta,
-            ln_b: ln_beta(alpha, beta),
+            ln_b,
+            inv_b,
+            int_pow,
         }
     }
 
@@ -79,7 +111,7 @@ impl Dist for Beta {
             return if self.alpha < 1.0 {
                 f64::INFINITY
             } else if self.alpha == 1.0 {
-                (-self.ln_b).exp()
+                self.inv_b
             } else {
                 0.0
             };
@@ -88,10 +120,13 @@ impl Dist for Beta {
             return if self.beta < 1.0 {
                 f64::INFINITY
             } else if self.beta == 1.0 {
-                (-self.ln_b).exp()
+                self.inv_b
             } else {
                 0.0
             };
+        }
+        if let Some((a1, b1)) = self.int_pow {
+            return x.powi(a1) * (1.0 - x).powi(b1) * self.inv_b;
         }
         ((self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln() - self.ln_b).exp()
     }

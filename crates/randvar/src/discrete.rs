@@ -18,10 +18,14 @@
 //! schedule evaluator never has to special-case deterministic inputs.
 
 use crate::dist::Dist;
-use robusched_numeric::convolution::convolve_auto;
+use crate::workspace::{with_thread_workspace, RvWorkspace};
+use robusched_numeric::convolution::convolve_auto_into;
 use robusched_numeric::grid::linspace;
-use robusched_numeric::integrate::{cumulative_trapezoid, simpson_uniform, trapezoid_uniform};
-use robusched_numeric::interp::{CubicSpline, LinearInterp};
+use robusched_numeric::integrate::{
+    cumulative_trapezoid_into, simpson_uniform, simpson_uniform_fn, trapezoid_uniform,
+    trapezoid_uniform_fn,
+};
+use robusched_numeric::interp::{SplineScratch, UniformLocalCubic};
 use robusched_numeric::smooth::clamp_nonnegative;
 
 /// Working resolution for intermediate convolutions; the result is
@@ -39,6 +43,23 @@ fn quad_weight(i: usize, n: usize, h: f64) -> f64 {
     let mut e = vec![0.0; n];
     e[i] = 1.0;
     simpson_uniform(&e, h)
+}
+
+/// The `i`-th abscissa of the `n`-point uniform grid over `[lo, hi]` with
+/// precomputed `step`, by the same endpoint-pinned arithmetic as
+/// [`linspace`] (`lo + step·i`, last point exactly `hi`).
+///
+/// Every fused loop in this module MUST go through this one helper: the
+/// wrapper-vs-`_into` and fused-vs-materialized bit-identity contracts
+/// (asserted in the tests and in `tests/eval_cache.rs`) hold only while
+/// all grid abscissae are produced by identical floating-point operations.
+#[inline]
+fn grid_x(lo: f64, hi: f64, step: f64, n: usize, i: usize) -> f64 {
+    if i == n - 1 {
+        hi
+    } else {
+        lo + step * i as f64
+    }
 }
 
 /// A random variable represented by a sampled PDF on a uniform grid.
@@ -107,32 +128,86 @@ impl DiscreteRv {
     ///
     /// # Panics
     /// Panics if the grid is ill-formed or carries no mass.
-    pub fn from_grid(lo: f64, hi: f64, mut pdf: Vec<f64>) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "bad support");
-        assert!(pdf.len() >= 2, "need at least two grid points");
-        clamp_nonnegative(&mut pdf, f64::INFINITY);
-        let h = (hi - lo) / (pdf.len() - 1) as f64;
+    pub fn from_grid(lo: f64, hi: f64, pdf: Vec<f64>) -> Self {
+        let mut out = Self {
+            lo,
+            hi,
+            pdf,
+            cdf: Vec::new(),
+        };
+        out.finish_normalize();
+        out
+    }
+
+    /// Normalizes `self.pdf` over `[self.lo, self.hi]` and rebuilds the CDF
+    /// in place — the allocation-free core behind [`DiscreteRv::from_grid`]
+    /// and every `*_into` kernel.
+    ///
+    /// # Panics
+    /// Panics if the grid is ill-formed or carries no mass.
+    fn finish_normalize(&mut self) {
+        assert!(
+            self.lo.is_finite() && self.hi.is_finite() && self.hi > self.lo,
+            "bad support"
+        );
+        assert!(self.pdf.len() >= 2, "need at least two grid points");
+        clamp_nonnegative(&mut self.pdf);
+        let h = (self.hi - self.lo) / (self.pdf.len() - 1) as f64;
         // Normalize with the same quadrature (Simpson) used by every moment
         // integral; mixing rules leaves an O(h²) bias between the mass and
         // the moments that wrecks the variance through cancellation.
-        let mass = simpson_uniform(&pdf, h);
+        let mass = simpson_uniform(&self.pdf, h);
         assert!(
             mass > 0.0 && mass.is_finite(),
             "PDF carries no (finite) mass: {mass}"
         );
-        for v in pdf.iter_mut() {
+        for v in self.pdf.iter_mut() {
             *v /= mass;
         }
-        let mut cdf = cumulative_trapezoid(&pdf, h);
+        cumulative_trapezoid_into(&self.pdf, h, &mut self.cdf);
         // Normalize the CDF exactly to 1 at the right end (trapezoid mass of
         // the normalized PDF is 1 by construction, but guard the rounding).
-        let last = *cdf.last().unwrap();
+        let last = *self.cdf.last().unwrap();
         if last > 0.0 {
-            for v in cdf.iter_mut() {
+            for v in self.cdf.iter_mut() {
                 *v /= last;
             }
         }
-        Self { lo, hi, pdf, cdf }
+    }
+
+    /// Overwrites `self` with a copy of `src`, reusing allocated capacity.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.lo = src.lo;
+        self.hi = src.hi;
+        self.pdf.clear();
+        self.pdf.extend_from_slice(&src.pdf);
+        self.cdf.clear();
+        self.cdf.extend_from_slice(&src.cdf);
+    }
+
+    /// Turns `self` into the point mass at `x`, keeping buffer capacity.
+    fn set_point(&mut self, x: f64) {
+        assert!(x.is_finite(), "point mass must be finite");
+        self.lo = x;
+        self.hi = x;
+        self.pdf.clear();
+        self.cdf.clear();
+    }
+
+    /// Shifts the support by `c` in place (`X + c` — density unchanged).
+    fn shift_in_place(&mut self, c: f64) {
+        assert!(c.is_finite());
+        self.lo += c;
+        self.hi += c;
+    }
+
+    /// The `i`-th grid abscissa, by the same endpoint-pinned formula as
+    /// [`linspace`] (so fused loops agree bit-for-bit with materialized
+    /// grids).
+    #[inline]
+    fn x_at(&self, i: usize) -> f64 {
+        let n = self.pdf.len();
+        grid_x(self.lo, self.hi, (self.hi - self.lo) / (n - 1) as f64, n, i)
     }
 
     /// Kernel-free density estimate from Monte-Carlo samples: a histogram
@@ -266,9 +341,7 @@ impl DiscreteRv {
         if self.is_point() {
             return self.lo;
         }
-        let xs = self.grid();
-        let y: Vec<f64> = xs.iter().zip(&self.pdf).map(|(x, f)| x * f).collect();
-        simpson_uniform(&y, self.step())
+        simpson_uniform_fn(self.pdf.len(), self.step(), |i| self.x_at(i) * self.pdf[i])
     }
 
     /// Second raw moment `E[X²]`.
@@ -276,9 +349,10 @@ impl DiscreteRv {
         if self.is_point() {
             return self.lo * self.lo;
         }
-        let xs = self.grid();
-        let y: Vec<f64> = xs.iter().zip(&self.pdf).map(|(x, f)| x * x * f).collect();
-        simpson_uniform(&y, self.step())
+        simpson_uniform_fn(self.pdf.len(), self.step(), |i| {
+            let x = self.x_at(i);
+            x * x * self.pdf[i]
+        })
     }
 
     /// Variance, computed as the *central* second moment `∫ (x−m)² f dx`.
@@ -292,13 +366,11 @@ impl DiscreteRv {
             return 0.0;
         }
         let m = self.mean();
-        let xs = self.grid();
-        let y: Vec<f64> = xs
-            .iter()
-            .zip(&self.pdf)
-            .map(|(x, f)| (x - m) * (x - m) * f)
-            .collect();
-        simpson_uniform(&y, self.step()).max(0.0)
+        simpson_uniform_fn(self.pdf.len(), self.step(), |i| {
+            let d = self.x_at(i) - m;
+            d * d * self.pdf[i]
+        })
+        .max(0.0)
     }
 
     /// Standard deviation — the paper's σ_M robustness metric.
@@ -316,12 +388,14 @@ impl DiscreteRv {
         if self.is_point() {
             return f64::NEG_INFINITY;
         }
-        let y: Vec<f64> = self
-            .pdf
-            .iter()
-            .map(|&f| if f > 0.0 { -f * f.ln() } else { 0.0 })
-            .collect();
-        simpson_uniform(&y, self.step())
+        simpson_uniform_fn(self.pdf.len(), self.step(), |i| {
+            let f = self.pdf[i];
+            if f > 0.0 {
+                -f * f.ln()
+            } else {
+                0.0
+            }
+        })
     }
 
     /// `P(a ≤ X ≤ b)` (0 when `b < a`).
@@ -338,8 +412,32 @@ impl DiscreteRv {
         if self.is_point() {
             return self.lo;
         }
-        let li = LinearInterp::new(&self.grid(), &self.cdf);
-        li.inverse_monotone(p)
+        // Inverse lookup on the monotone CDF table, same semantics as
+        // `LinearInterp::inverse_monotone` but without materializing the
+        // grid.
+        let n = self.cdf.len();
+        if p <= self.cdf[0] {
+            return self.x_at(0);
+        }
+        if p >= self.cdf[n - 1] {
+            return self.x_at(n - 1);
+        }
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.cdf[mid] <= p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let dy = self.cdf[lo + 1] - self.cdf[lo];
+        if dy <= 0.0 {
+            return self.x_at(lo);
+        }
+        let t = (p - self.cdf[lo]) / dy;
+        self.x_at(lo) + t * (self.x_at(lo + 1) - self.x_at(lo))
     }
 
     /// Conditional mean above a threshold: `E[X | X > t]`.
@@ -357,20 +455,21 @@ impl DiscreteRv {
             return Some(self.mean());
         }
         let h = self.step();
-        let xs = self.grid();
+        let n = self.points();
         // Find the first grid index strictly above t.
-        let first = xs.iter().position(|&x| x > t).unwrap();
-        // Partial cell [t, xs[first]] handled with the trapezoid on
+        let first = (0..n)
+            .find(|&i| self.x_at(i) > t)
+            .expect("t < hi guarantees a grid point above");
+        // Partial cell [t, x_first] handled with the trapezoid on
         // interpolated densities; full cells from `first` onward.
         let ft = self.pdf_at(t);
-        let partial_w = xs[first] - t;
+        let x_first = self.x_at(first);
+        let partial_w = x_first - t;
         let mut prob = 0.5 * partial_w * (ft + self.pdf[first]);
-        let mut ex = 0.5 * partial_w * (t * ft + xs[first] * self.pdf[first]);
-        let tail = &self.pdf[first..];
-        let tail_x: Vec<f64> = xs[first..].to_vec();
-        prob += trapezoid_uniform(tail, h);
-        let xf: Vec<f64> = tail_x.iter().zip(tail).map(|(x, f)| x * f).collect();
-        ex += trapezoid_uniform(&xf, h);
+        let mut ex = 0.5 * partial_w * (t * ft + x_first * self.pdf[first]);
+        let tail_n = n - first;
+        prob += trapezoid_uniform_fn(tail_n, h, |j| self.pdf[first + j]);
+        ex += trapezoid_uniform_fn(tail_n, h, |j| self.x_at(first + j) * self.pdf[first + j]);
         if prob <= 1e-12 {
             None
         } else {
@@ -414,12 +513,28 @@ impl DiscreteRv {
     /// densities convolved (direct or FFT depending on size), and the result
     /// resampled back to `max(points, points)` grid points (the canonical 64
     /// in the pipeline).
+    ///
+    /// Allocating wrapper over [`DiscreteRv::sum_into`] (thread-local
+    /// workspace).
     pub fn sum(&self, other: &Self) -> Self {
+        let mut out = Self::point(0.0);
+        with_thread_workspace(|ws| self.sum_into(other, ws, &mut out));
+        out
+    }
+
+    /// [`DiscreteRv::sum`] written into caller-owned storage: `out`'s
+    /// buffers are reused, `ws` supplies every intermediate. Produces
+    /// bit-identical results to `sum`.
+    pub fn sum_into(&self, other: &Self, ws: &mut RvWorkspace, out: &mut Self) {
         if self.is_point() {
-            return other.shift(self.lo);
+            out.copy_from(other);
+            out.shift_in_place(self.lo);
+            return;
         }
         if other.is_point() {
-            return self.shift(other.lo);
+            out.copy_from(self);
+            out.shift_in_place(other.lo);
+            return;
         }
         let n_out = self.points().max(other.points());
         let lo = self.lo + other.lo;
@@ -432,57 +547,106 @@ impl DiscreteRv {
         // point); approximate it by a shift by its mean — the discarded
         // variance is below the grid quantization anyway.
         if s1 <= 2.0 * h {
-            return other.shift(self.mean());
+            out.copy_from(other);
+            out.shift_in_place(self.mean());
+            return;
         }
         if s2 <= 2.0 * h {
-            return self.shift(other.mean());
+            out.copy_from(self);
+            out.shift_in_place(other.mean());
+            return;
         }
 
-        let f1 = self.resample_step(h);
-        let f2 = other.resample_step(h);
-        let mut conv = convolve_auto(&f1, &f2);
-        for v in conv.iter_mut() {
+        self.resample_step_into(h, &mut ws.spline, &mut ws.f1);
+        other.resample_step_into(h, &mut ws.spline, &mut ws.f2);
+        convolve_auto_into(&ws.f1, &ws.f2, &mut ws.conv);
+        for v in ws.conv.iter_mut() {
             *v *= h;
         }
-        clamp_nonnegative(&mut conv, f64::INFINITY);
+        clamp_nonnegative(&mut ws.conv);
         // The convolution grid starts at lo with step h; resample to the
         // exact target support (its end may differ from `hi` by < h due to
-        // rounding of the operand grids).
-        let conv_hi = lo + h * (conv.len() - 1) as f64;
-        let spline = CubicSpline::new(&linspace(lo, conv_hi, conv.len()), &conv);
-        let mut out: Vec<f64> = linspace(lo, hi, n_out)
-            .into_iter()
-            .map(|x| if x > conv_hi { 0.0 } else { spline.eval(x) })
-            .collect();
-        clamp_nonnegative(&mut out, f64::INFINITY);
-        Self::from_grid(lo, hi, out)
+        // rounding of the operand grids). The convolution grid oversamples
+        // the output ~4×, so the fit-free local cubic matches a natural
+        // spline to ~1e-6 here while skipping its O(n) Thomas solve — the
+        // single largest cost of a `sum` after the convolution itself.
+        let conv_hi = lo + h * (ws.conv.len() - 1) as f64;
+        let interp = UniformLocalCubic::new(lo, conv_hi, &ws.conv);
+        out.lo = lo;
+        out.hi = hi;
+        out.pdf.clear();
+        out.pdf.reserve(n_out);
+        let out_step = (hi - lo) / (n_out - 1) as f64;
+        for i in 0..n_out {
+            let x = grid_x(lo, hi, out_step, n_out, i);
+            out.pdf.push(if x > conv_hi { 0.0 } else { interp.eval(x) });
+        }
+        out.finish_normalize();
     }
 
     /// Resamples this PDF onto a grid of step `h` starting at `lo`,
-    /// covering the support (last point may fall `< h` short of `hi`).
-    /// The result is renormalized to unit trapezoid mass.
-    fn resample_step(&self, h: f64) -> Vec<f64> {
+    /// covering the support (last point may fall `< h` short of `hi`),
+    /// writing into `out`. The result is renormalized to unit trapezoid
+    /// mass.
+    ///
+    /// When the target grid coincides with the operand's own grid
+    /// (commensurate step, same point count) the spline fit is skipped
+    /// entirely — resampling would merely reproduce the knots.
+    fn resample_step_into(&self, h: f64, scratch: &mut SplineScratch, out: &mut Vec<f64>) {
         let n = (((self.span() / h).round() as usize) + 1).max(2);
-        let spline = CubicSpline::new(&self.grid(), &self.pdf);
-        let top = self.lo + h * (n - 1) as f64;
-        let mut out: Vec<f64> = (0..n)
-            .map(|i| {
+        out.clear();
+        if n == self.points() && (self.step() - h).abs() <= 1e-12 * h {
+            out.extend_from_slice(&self.pdf);
+        } else {
+            let spline = scratch.fit_uniform(self.lo, self.hi, &self.pdf);
+            out.reserve(n);
+            let top = self.lo + h * (n - 1) as f64;
+            for i in 0..n {
                 let x = self.lo + h * i as f64;
-                if x > self.hi.max(top - h) && x > self.hi {
+                out.push(if x > self.hi.max(top - h) && x > self.hi {
                     0.0
                 } else {
                     spline.eval(x.min(self.hi))
-                }
-            })
-            .collect();
-        clamp_nonnegative(&mut out, f64::INFINITY);
-        let mass = trapezoid_uniform(&out, h);
+                });
+            }
+        }
+        clamp_nonnegative(out);
+        let mass = trapezoid_uniform(out, h);
         if mass > 0.0 {
             for v in out.iter_mut() {
                 *v /= mass;
             }
         }
-        out
+    }
+
+    /// Density and CDF at `x` in one interval lookup — the merged kernel
+    /// behind [`DiscreteRv::max_into`] / [`DiscreteRv::min_into`]. Matches
+    /// [`DiscreteRv::pdf_at`] and [`DiscreteRv::cdf_at`] pointwise.
+    #[inline]
+    fn pdf_cdf_at(&self, x: f64) -> (f64, f64) {
+        debug_assert!(!self.is_point());
+        if x < self.lo {
+            return (0.0, 0.0);
+        }
+        if x == self.lo {
+            return (self.pdf[0], 0.0);
+        }
+        if x >= self.hi {
+            let f = if x > self.hi {
+                0.0
+            } else {
+                self.pdf[self.pdf.len() - 1]
+            };
+            return (f, 1.0);
+        }
+        let h = self.step();
+        let t = (x - self.lo) / h;
+        let i = (t.floor() as usize).min(self.pdf.len() - 2);
+        let frac = t - i as f64;
+        (
+            self.pdf[i] * (1.0 - frac) + self.pdf[i + 1] * frac,
+            self.cdf[i] * (1.0 - frac) + self.cdf[i + 1] * frac,
+        )
     }
 
     /// Distribution of `max(X, Y)` for independent `X`, `Y`.
@@ -490,53 +654,84 @@ impl DiscreteRv {
     /// Uses the exact product-rule density `f = f₁·F₂ + F₁·f₂` rather than
     /// numerically differentiating `F₁·F₂`, which avoids the smoothing pass
     /// the paper needed.
+    ///
+    /// Allocating wrapper over [`DiscreteRv::max_into`] (thread-local
+    /// workspace).
     pub fn max(&self, other: &Self) -> Self {
+        let mut out = Self::point(0.0);
+        with_thread_workspace(|ws| self.max_into(other, ws, &mut out));
+        out
+    }
+
+    /// [`DiscreteRv::max`] written into caller-owned storage: one merged
+    /// scan over the output grid evaluates both operands' density and CDF
+    /// per point, with no intermediate allocation. Bit-identical to `max`.
+    pub fn max_into(&self, other: &Self, _ws: &mut RvWorkspace, out: &mut Self) {
         // Point-mass algebra first.
         match (self.is_point(), other.is_point()) {
-            (true, true) => return Self::point(self.lo.max(other.lo)),
-            (true, false) => return other.clamp_below(self.lo),
-            (false, true) => return self.clamp_below(other.lo),
+            (true, true) => return out.set_point(self.lo.max(other.lo)),
+            (true, false) => return *out = other.clamp_below(self.lo),
+            (false, true) => return *out = self.clamp_below(other.lo),
             (false, false) => {}
         }
         let n_out = self.points().max(other.points());
         let lo = self.lo.max(other.lo);
         let hi = self.hi.max(other.hi);
         if lo == hi {
-            return Self::point(lo);
+            return out.set_point(lo);
         }
-        let xs = linspace(lo, hi, n_out);
-        let mut pdf: Vec<f64> = xs
-            .iter()
-            .map(|&x| self.pdf_at(x) * other.cdf_at(x) + self.cdf_at(x) * other.pdf_at(x))
-            .collect();
-        clamp_nonnegative(&mut pdf, f64::INFINITY);
-        Self::from_grid(lo, hi, pdf)
+        out.lo = lo;
+        out.hi = hi;
+        out.pdf.clear();
+        out.pdf.reserve(n_out);
+        let step = (hi - lo) / (n_out - 1) as f64;
+        for i in 0..n_out {
+            let x = grid_x(lo, hi, step, n_out, i);
+            let (f1, c1) = self.pdf_cdf_at(x);
+            let (f2, c2) = other.pdf_cdf_at(x);
+            out.pdf.push(f1 * c2 + c1 * f2);
+        }
+        out.finish_normalize();
     }
 
     /// Distribution of `min(X, Y)` for independent `X`, `Y`
     /// (`f = f₁·(1−F₂) + (1−F₁)·f₂`).
+    ///
+    /// Allocating wrapper over [`DiscreteRv::min_into`] (thread-local
+    /// workspace).
     pub fn min(&self, other: &Self) -> Self {
+        let mut out = Self::point(0.0);
+        with_thread_workspace(|ws| self.min_into(other, ws, &mut out));
+        out
+    }
+
+    /// [`DiscreteRv::min`] written into caller-owned storage (merged scan,
+    /// no intermediate allocation). Bit-identical to `min`.
+    pub fn min_into(&self, other: &Self, _ws: &mut RvWorkspace, out: &mut Self) {
         match (self.is_point(), other.is_point()) {
-            (true, true) => return Self::point(self.lo.min(other.lo)),
-            (true, false) => return other.clamp_above(self.lo),
-            (false, true) => return self.clamp_above(other.lo),
+            (true, true) => return out.set_point(self.lo.min(other.lo)),
+            (true, false) => return *out = other.clamp_above(self.lo),
+            (false, true) => return *out = self.clamp_above(other.lo),
             (false, false) => {}
         }
         let n_out = self.points().max(other.points());
         let lo = self.lo.min(other.lo);
         let hi = self.hi.min(other.hi);
         if lo == hi {
-            return Self::point(lo);
+            return out.set_point(lo);
         }
-        let xs = linspace(lo, hi, n_out);
-        let mut pdf: Vec<f64> = xs
-            .iter()
-            .map(|&x| {
-                self.pdf_at(x) * (1.0 - other.cdf_at(x)) + (1.0 - self.cdf_at(x)) * other.pdf_at(x)
-            })
-            .collect();
-        clamp_nonnegative(&mut pdf, f64::INFINITY);
-        Self::from_grid(lo, hi, pdf)
+        out.lo = lo;
+        out.hi = hi;
+        out.pdf.clear();
+        out.pdf.reserve(n_out);
+        let step = (hi - lo) / (n_out - 1) as f64;
+        for i in 0..n_out {
+            let x = grid_x(lo, hi, step, n_out, i);
+            let (f1, c1) = self.pdf_cdf_at(x);
+            let (f2, c2) = other.pdf_cdf_at(x);
+            out.pdf.push(f1 * (1.0 - c2) + (1.0 - c1) * f2);
+        }
+        out.finish_normalize();
     }
 
     /// `max(X, c)` for a constant `c`.
@@ -594,9 +789,13 @@ impl DiscreteRv {
     pub fn self_sum(&self, k: usize) -> Self {
         assert!(k >= 1, "need at least one summand");
         let mut acc = self.clone();
-        for _ in 1..k {
-            acc = acc.sum(self);
-        }
+        let mut tmp = Self::point(0.0);
+        with_thread_workspace(|ws| {
+            for _ in 1..k {
+                acc.sum_into(self, ws, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+        });
         acc
     }
 
@@ -876,5 +1075,75 @@ mod tests {
     #[should_panic(expected = "no (finite) mass")]
     fn zero_mass_grid_rejected() {
         DiscreteRv::from_grid(0.0, 1.0, vec![0.0; 8]);
+    }
+
+    fn assert_rv_bits_eq(a: &DiscreteRv, b: &DiscreteRv, what: &str) {
+        assert_eq!(a.lo().to_bits(), b.lo().to_bits(), "{what}: lo");
+        assert_eq!(a.hi().to_bits(), b.hi().to_bits(), "{what}: hi");
+        assert_eq!(a.pdf_values().len(), b.pdf_values().len(), "{what}: len");
+        for (i, (x, y)) in a.pdf_values().iter().zip(b.pdf_values().iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: pdf[{i}]");
+        }
+        for (i, (x, y)) in a.cdf_values().iter().zip(b.cdf_values().iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: cdf[{i}]");
+        }
+    }
+
+    #[test]
+    fn into_kernels_bit_identical_to_operators() {
+        // sum/max/min are wrappers over the `_into` kernels, and a reused
+        // (dirty) workspace + output must not change a single bit.
+        let x = DiscreteRv::from_dist_default(&ScaledBeta::paper_default(20.0, 1.1));
+        let y = DiscreteRv::from_dist(&ScaledBeta::paper_default(15.0, 1.4), 48);
+        let p = DiscreteRv::point(3.5);
+        let mut ws = crate::RvWorkspace::new();
+        let mut out = DiscreteRv::point(0.0);
+        for (a, b, what) in [
+            (&x, &y, "sum x+y"),
+            (&y, &x, "sum y+x"),
+            (&x, &p, "sum x+point"),
+            (&p, &x, "sum point+x"),
+        ] {
+            a.sum_into(b, &mut ws, &mut out);
+            assert_rv_bits_eq(&out, &a.sum(b), what);
+        }
+        for (a, b, what) in [(&x, &y, "max"), (&p, &y, "max point")] {
+            a.max_into(b, &mut ws, &mut out);
+            assert_rv_bits_eq(&out, &a.max(b), what);
+        }
+        for (a, b, what) in [(&x, &y, "min"), (&x, &p, "min point")] {
+            a.min_into(b, &mut ws, &mut out);
+            assert_rv_bits_eq(&out, &a.min(b), what);
+        }
+        // Repeat a sum with the now well-used workspace: still identical.
+        x.sum_into(&y, &mut ws, &mut out);
+        assert_rv_bits_eq(&out, &x.sum(&y), "sum after reuse");
+    }
+
+    #[test]
+    fn fused_moments_match_gridded_reference() {
+        // The fused Simpson loops must agree with explicitly materialized
+        // integrands (same quadrature, same abscissae).
+        let rv = DiscreteRv::from_dist(&ScaledBeta::paper_default(20.0, 1.3), 64);
+        let xs = rv.grid();
+        let h = rv.step();
+        let mean_ref = robusched_numeric::simpson_uniform(
+            &xs.iter()
+                .zip(rv.pdf_values())
+                .map(|(x, f)| x * f)
+                .collect::<Vec<_>>(),
+            h,
+        );
+        assert_eq!(rv.mean().to_bits(), mean_ref.to_bits());
+        let m = rv.mean();
+        let var_ref = robusched_numeric::simpson_uniform(
+            &xs.iter()
+                .zip(rv.pdf_values())
+                .map(|(x, f)| (x - m) * (x - m) * f)
+                .collect::<Vec<_>>(),
+            h,
+        )
+        .max(0.0);
+        assert_eq!(rv.variance().to_bits(), var_ref.to_bits());
     }
 }

@@ -21,7 +21,10 @@
 //!   `f₁F₂ + F₁f₂`), affine transforms, moments, differential entropy,
 //!   lateness, interval probabilities, quantiles and KS/CM distances;
 //! * [`seed`] — SplitMix64 sub-seed derivation so every experiment is
-//!   reproducible bit-for-bit regardless of thread count.
+//!   reproducible bit-for-bit regardless of thread count;
+//! * [`workspace`] — [`workspace::RvWorkspace`], reusable scratch buffers
+//!   behind the allocation-free `sum_into`/`max_into`/`min_into` kernels
+//!   (the allocating operators route through a thread-local instance).
 
 pub mod beta;
 pub mod concat_beta;
@@ -35,6 +38,7 @@ pub mod qtable;
 pub mod seed;
 pub mod triangular;
 pub mod uniform;
+pub mod workspace;
 
 pub use beta::{Beta, ScaledBeta};
 pub use concat_beta::ConcatBeta;
@@ -48,6 +52,7 @@ pub use qtable::QuantileTable;
 pub use seed::{derive_seed, SplitMix64};
 pub use triangular::Triangular;
 pub use uniform::Uniform;
+pub use workspace::RvWorkspace;
 
 /// Default number of grid points for discretized PDFs.
 ///

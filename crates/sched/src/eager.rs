@@ -24,11 +24,16 @@ pub struct ExecResult {
 }
 
 /// A schedule compiled for repeated eager execution: a topological order of
-/// the disjunctive graph plus the same-machine predecessor of every task.
+/// the disjunctive graph, the same-machine neighbors of every task, and the
+/// disjunctive sinks (precomputed once so per-evaluation passes stop
+/// rebuilding them — the analytic evaluators take the makespan as the max
+/// over exactly these tasks).
 #[derive(Debug, Clone)]
 pub struct EagerPlan {
     order: Vec<NodeId>,
     prev_on_proc: Vec<Option<NodeId>>,
+    next_on_proc: Vec<Option<NodeId>>,
+    sinks: Vec<NodeId>,
 }
 
 impl EagerPlan {
@@ -73,9 +78,16 @@ impl EagerPlan {
         if order.len() != n {
             return Err(ScheduleError::Deadlock);
         }
+        // Disjunctive sinks: no DAG successor and no machine successor —
+        // every other task's finish is dominated by one of these.
+        let sinks: Vec<NodeId> = (0..n)
+            .filter(|&v| dag.out_degree(v) == 0 && next_on_proc[v].is_none())
+            .collect();
         Ok(Self {
             order,
             prev_on_proc,
+            next_on_proc,
+            sinks,
         })
     }
 
@@ -87,6 +99,18 @@ impl EagerPlan {
     /// Same-machine predecessor of each task.
     pub fn prev_on_proc(&self) -> &[Option<NodeId>] {
         &self.prev_on_proc
+    }
+
+    /// Same-machine successor of each task.
+    pub fn next_on_proc(&self) -> &[Option<NodeId>] {
+        &self.next_on_proc
+    }
+
+    /// Tasks with neither a DAG successor nor a machine successor, in
+    /// ascending task order. The makespan is the maximum of their finish
+    /// times.
+    pub fn disjunctive_sinks(&self) -> &[NodeId] {
+        &self.sinks
     }
 
     /// Replays the eager execution with the given durations.
@@ -200,6 +224,26 @@ mod tests {
         let dag = diamond();
         let s = Schedule::new(vec![0; 4], vec![vec![3, 2, 1, 0]]);
         assert!(EagerPlan::new(&dag, &s).is_err());
+    }
+
+    #[test]
+    fn disjunctive_sinks_precomputed() {
+        let dag = diamond();
+        // Machine 0 runs 0,1,3; machine 1 runs 2: only task 3 is a sink
+        // (task 2 has a DAG successor, tasks 0/1 have machine successors).
+        let s = Schedule::new(vec![0, 0, 1, 0], vec![vec![0, 1, 3], vec![2]]);
+        let plan = EagerPlan::new(&dag, &s).unwrap();
+        assert_eq!(plan.disjunctive_sinks(), &[3]);
+        assert_eq!(plan.next_on_proc()[0], Some(1));
+        assert_eq!(plan.next_on_proc()[1], Some(3));
+        assert_eq!(plan.next_on_proc()[2], None);
+        assert_eq!(plan.next_on_proc()[3], None);
+        // Two independent tasks on two machines: both are sinks.
+        let mut free = Dag::new(2);
+        let _ = &mut free;
+        let s2 = Schedule::new(vec![0, 1], vec![vec![0], vec![1]]);
+        let plan2 = EagerPlan::new(&free, &s2).unwrap();
+        assert_eq!(plan2.disjunctive_sinks(), &[0, 1]);
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Scenario discretization cache.
+//!
+//! The analytic evaluators quantize every duration distribution to a
+//! [`DiscreteRv`] before running their recursions. Those distributions
+//! depend only on the *scenario* — `task_dist(v, p)` on the task/machine
+//! pair, `comm_dist(e, pu, pv)` on the edge/machine pair — never on the
+//! schedule, yet the evaluators used to re-discretize them for every one of
+//! the tens of thousands of schedules a study pushes through
+//! [`crate::Evaluator::evaluate`]. Each discretization samples a Beta PDF
+//! (64 `powf` calls) and normalizes — multiplied across a 10 000-schedule
+//! study this was a significant slice of the §V–§VI protocol's runtime.
+//!
+//! [`DiscretizedScenario`] quantizes each distribution **once per
+//! (scenario, grid)**: a lazy table of `OnceLock` slots, shared read-only
+//! across all schedules and worker threads of a study. Laziness matters in
+//! both directions — a single standalone evaluation only pays for the
+//! slots its schedule touches (no worse than the uncached path), while a
+//! study amortizes every slot across the whole schedule stream. Because the
+//! slot initializer is deterministic, concurrent initialization races are
+//! benign: every thread computes the same bits.
+
+use robusched_dag::{EdgeId, NodeId};
+use robusched_platform::{Scenario, UncertaintyKind};
+use robusched_randvar::DiscreteRv;
+use std::sync::OnceLock;
+
+/// FNV-1a fingerprint of everything that determines the discretized
+/// distributions: dimensions, uncertainty model (incl. per-task ULs),
+/// every deterministic task cost, every edge volume, and the network's
+/// per-pair rate/latency matrices. Two scenarios with equal fingerprints
+/// produce identical `task_dist`/`comm_dist` families, so a cache built
+/// for one is valid for the other. ~`n·m + e + 2m²` hash steps — a few µs,
+/// amortized over a ~ms evaluation.
+fn fingerprint(scenario: &Scenario) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |bits: u64| {
+        // FNV-1a over the 8 bytes.
+        for shift in (0..64).step_by(8) {
+            h ^= (bits >> shift) & 0xff;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    let n = scenario.task_count();
+    let m = scenario.machine_count();
+    let e = scenario.graph.edge_count();
+    mix(n as u64);
+    mix(m as u64);
+    mix(e as u64);
+    mix(scenario.uncertainty.ul.to_bits());
+    mix(match scenario.uncertainty.kind {
+        UncertaintyKind::Beta25 => 1,
+        UncertaintyKind::Uniform => 2,
+        UncertaintyKind::Triangular => 3,
+        UncertaintyKind::None => 4,
+    });
+    match &scenario.per_task_ul {
+        None => mix(0),
+        Some(uls) => {
+            mix(1);
+            for ul in uls {
+                mix(ul.to_bits());
+            }
+        }
+    }
+    for v in 0..n {
+        for p in 0..m {
+            mix(scenario.det_task_cost(v, p).to_bits());
+        }
+    }
+    for edge in 0..e {
+        mix(scenario.graph.volume(edge).to_bits());
+    }
+    for p in 0..m {
+        for q in 0..m {
+            mix(scenario.platform.tau(p, q).to_bits());
+            mix(scenario.platform.latency(p, q).to_bits());
+        }
+    }
+    h
+}
+
+/// Per-(scenario, grid) table of discretized task and communication
+/// distributions. Cheap to construct (slots fill on first use); share one
+/// instance per study via `Arc`.
+#[derive(Debug)]
+pub struct DiscretizedScenario {
+    grid: usize,
+    m: usize,
+    fingerprint: u64,
+    /// `task(v, p)` at `v·m + p`.
+    tasks: Vec<OnceLock<DiscreteRv>>,
+    /// `comm(e, pu, pv)` at `e·m² + pu·m + pv` (only `pu != pv` is used —
+    /// co-located communication is free and never discretized).
+    comms: Vec<OnceLock<DiscreteRv>>,
+}
+
+impl DiscretizedScenario {
+    /// Builds the (empty) table for `scenario` at PDF resolution `grid`.
+    pub fn new(scenario: &Scenario, grid: usize) -> Self {
+        let n = scenario.task_count();
+        let m = scenario.machine_count();
+        let edges = scenario.graph.edge_count();
+        let mut tasks = Vec::new();
+        tasks.resize_with(n * m, OnceLock::new);
+        let mut comms = Vec::new();
+        comms.resize_with(edges * m * m, OnceLock::new);
+        Self {
+            grid,
+            m,
+            fingerprint: fingerprint(scenario),
+            tasks,
+            comms,
+        }
+    }
+
+    /// The PDF grid resolution this table quantizes to.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// `true` when this table is valid for `scenario`: the fingerprint
+    /// covers every input of the discretizations (dimensions, uncertainty
+    /// model, task costs, edge volumes, network matrices), so scenarios
+    /// that differ *only* in seed-derived content — same shape, different
+    /// costs or uncertainty level — are correctly rejected, not just
+    /// different-shape ones.
+    pub fn matches(&self, scenario: &Scenario) -> bool {
+        self.fingerprint == fingerprint(scenario)
+    }
+
+    /// The discretized duration of task `v` on machine `p`.
+    ///
+    /// `scenario` must be the scenario this table was built for.
+    pub fn task<'a>(&'a self, scenario: &Scenario, v: NodeId, p: usize) -> &'a DiscreteRv {
+        debug_assert!(self.matches(scenario), "cache built for another scenario");
+        self.tasks[v * self.m + p]
+            .get_or_init(|| DiscreteRv::from_dist(&scenario.task_dist(v, p), self.grid))
+    }
+
+    /// The discretized communication time of edge `e` between the distinct
+    /// machines `pu` and `pv`.
+    ///
+    /// `scenario` must be the scenario this table was built for.
+    ///
+    /// # Panics
+    /// Debug-asserts `pu != pv` — co-located communication is zero and is
+    /// handled by the evaluators before reaching the cache.
+    pub fn comm<'a>(
+        &'a self,
+        scenario: &Scenario,
+        e: EdgeId,
+        pu: usize,
+        pv: usize,
+    ) -> &'a DiscreteRv {
+        debug_assert!(self.matches(scenario), "cache built for another scenario");
+        debug_assert_ne!(pu, pv, "co-located communication is never discretized");
+        self.comms[e * self.m * self.m + pu * self.m + pv]
+            .get_or_init(|| DiscreteRv::from_dist(&scenario.comm_dist(e, pu, pv), self.grid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_slots_match_direct_discretization() {
+        let s = Scenario::paper_random(10, 3, 1.1, 5);
+        let cache = DiscretizedScenario::new(&s, 64);
+        for v in 0..10 {
+            for p in 0..3 {
+                let cached = cache.task(&s, v, p);
+                let direct = DiscreteRv::from_dist(&s.task_dist(v, p), 64);
+                assert_eq!(cached.lo(), direct.lo());
+                assert_eq!(cached.hi(), direct.hi());
+                assert_eq!(cached.pdf_values(), direct.pdf_values());
+            }
+        }
+        for e in 0..s.graph.edge_count() {
+            let cached = cache.comm(&s, e, 0, 2);
+            let direct = DiscreteRv::from_dist(&s.comm_dist(e, 0, 2), 64);
+            assert_eq!(cached.pdf_values(), direct.pdf_values());
+        }
+    }
+
+    #[test]
+    fn repeated_access_returns_same_slot() {
+        let s = Scenario::paper_random(6, 2, 1.2, 9);
+        let cache = DiscretizedScenario::new(&s, 32);
+        let a = cache.task(&s, 3, 1) as *const DiscreteRv;
+        let b = cache.task(&s, 3, 1) as *const DiscreteRv;
+        assert_eq!(a, b, "second access must hit the cached slot");
+    }
+
+    #[test]
+    fn fingerprint_check() {
+        let s = Scenario::paper_random(10, 3, 1.1, 5);
+        let cache = DiscretizedScenario::new(&s, 64);
+        assert!(cache.matches(&s));
+        assert_eq!(cache.grid(), 64);
+        // Different shape.
+        assert!(!cache.matches(&Scenario::paper_random(12, 3, 1.1, 5)));
+        // Same shape, different uncertainty level — the dangerous case: a
+        // shape-only check would accept it and serve stale distributions.
+        assert!(!cache.matches(&Scenario::paper_random(10, 3, 1.5, 5)));
+        // Same shape, different seed (different costs).
+        assert!(!cache.matches(&Scenario::paper_random(10, 3, 1.1, 6)));
+        // Same shape, per-task ULs installed.
+        let varied = Scenario::paper_random(10, 3, 1.1, 5).with_per_task_ul(vec![1.2; 10]);
+        assert!(!cache.matches(&varied));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let s = Scenario::paper_random(8, 2, 1.1, 3);
+        let cache = std::sync::Arc::new(DiscretizedScenario::new(&s, 64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cache = cache.clone();
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                cache.task(&s, 5, 1).mean().to_bits()
+            }));
+        }
+        let bits: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(bits.windows(2).all(|w| w[0] == w[1]));
+    }
+}

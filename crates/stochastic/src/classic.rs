@@ -15,9 +15,20 @@
 //!
 //! with `⊕` the independent-sum (PDF convolution) and `max` the CDF
 //! product, both on 64-point grids (`robusched_randvar::DiscreteRv`).
+//!
+//! The hot entry point is [`evaluate_classic_cached`]: the per-(task,
+//! machine) and per-(edge, machine-pair) discretizations come from a shared
+//! read-only [`DiscretizedScenario`], every intermediate RV is built with
+//! the `*_into` kernels into a per-worker [`ClassicScratch`], and the
+//! disjunctive sinks come precomputed from [`EagerPlan`] — one schedule
+//! evaluation allocates nothing in the steady state beyond the returned
+//! distribution. The historical signatures ([`evaluate_classic`],
+//! [`evaluate_classic_grid`], [`evaluate_classic_full`]) are thin wrappers
+//! that build a fresh (lazy) cache and scratch per call.
 
+use crate::cache::DiscretizedScenario;
 use robusched_platform::Scenario;
-use robusched_randvar::DiscreteRv;
+use robusched_randvar::{DiscreteRv, RvWorkspace};
 use robusched_sched::{EagerPlan, Schedule};
 
 /// Analytic makespan distribution of a schedule (64-point grid).
@@ -27,7 +38,10 @@ pub fn evaluate_classic(scenario: &Scenario, schedule: &Schedule) -> DiscreteRv 
 
 /// Same as [`evaluate_classic`] with an explicit grid resolution.
 pub fn evaluate_classic_grid(scenario: &Scenario, schedule: &Schedule, grid: usize) -> DiscreteRv {
-    evaluate_classic_full(scenario, schedule, grid).1
+    let cache = DiscretizedScenario::new(scenario, grid);
+    let mut ws = RvWorkspace::new();
+    let mut scratch = ClassicScratch::new();
+    evaluate_classic_cached(scenario, schedule, &cache, &mut ws, &mut scratch)
 }
 
 /// Full evaluation: per-task finish distributions plus the makespan
@@ -40,10 +54,113 @@ pub fn evaluate_classic_full(
     schedule: &Schedule,
     grid: usize,
 ) -> (Vec<DiscreteRv>, DiscreteRv) {
+    let cache = DiscretizedScenario::new(scenario, grid);
+    let mut ws = RvWorkspace::new();
+    let mut scratch = ClassicScratch::new();
+    let makespan = evaluate_classic_cached(scenario, schedule, &cache, &mut ws, &mut scratch);
+    scratch.finish.truncate(scenario.task_count());
+    (scratch.finish, makespan)
+}
+
+/// Reusable per-worker storage for the classic recursion: the per-task
+/// finish distributions plus the ping-pong accumulators for `start` and the
+/// makespan. Buffers grow to the case size on first use and are reused for
+/// every subsequent schedule.
+#[derive(Debug)]
+pub struct ClassicScratch {
+    pub(crate) finish: Vec<DiscreteRv>,
+    start_a: DiscreteRv,
+    start_b: DiscreteRv,
+    arrival: DiscreteRv,
+    acc_a: DiscreteRv,
+    acc_b: DiscreteRv,
+}
+
+impl ClassicScratch {
+    /// Empty scratch; buffers grow on first evaluation.
+    pub fn new() -> Self {
+        Self {
+            finish: Vec::new(),
+            start_a: DiscreteRv::point(0.0),
+            start_b: DiscreteRv::point(0.0),
+            arrival: DiscreteRv::point(0.0),
+            acc_a: DiscreteRv::point(0.0),
+            acc_b: DiscreteRv::point(0.0),
+        }
+    }
+}
+
+impl Default for ClassicScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A pair of ping-pong buffers accumulating a running `max` without
+/// allocating: `fold` writes `current.max(x)` into the idle buffer and
+/// flips. Returns which buffer holds the final value.
+struct MaxAccum<'a> {
+    a: &'a mut DiscreteRv,
+    b: &'a mut DiscreteRv,
+    state: Option<bool>, // Some(true) = `a` is current
+}
+
+impl<'a> MaxAccum<'a> {
+    fn new(a: &'a mut DiscreteRv, b: &'a mut DiscreteRv) -> Self {
+        Self { a, b, state: None }
+    }
+
+    fn fold(&mut self, x: &DiscreteRv, ws: &mut RvWorkspace) {
+        match self.state {
+            None => {
+                self.a.copy_from(x);
+                self.state = Some(true);
+            }
+            Some(true) => {
+                self.a.max_into(x, ws, self.b);
+                self.state = Some(false);
+            }
+            Some(false) => {
+                self.b.max_into(x, ws, self.a);
+                self.state = Some(true);
+            }
+        }
+    }
+
+    fn current(&self) -> Option<&DiscreteRv> {
+        self.state
+            .map(|a_is_cur| if a_is_cur { &*self.a } else { &*self.b })
+    }
+}
+
+/// The allocation-free classic evaluation: shared discretization `cache`,
+/// per-worker `ws` + `scratch`. Numerically identical to the historical
+/// per-call path — the cache holds the same discretizations, the `*_into`
+/// kernels the same arithmetic.
+///
+/// # Panics
+/// Panics if the schedule is invalid for the scenario.
+pub fn evaluate_classic_cached(
+    scenario: &Scenario,
+    schedule: &Schedule,
+    cache: &DiscretizedScenario,
+    ws: &mut RvWorkspace,
+    scratch: &mut ClassicScratch,
+) -> DiscreteRv {
     let dag = &scenario.graph.dag;
     let plan = EagerPlan::new(dag, schedule).expect("invalid schedule");
     let n = dag.node_count();
-    let mut finish: Vec<Option<DiscreteRv>> = vec![None; n];
+    let ClassicScratch {
+        finish,
+        start_a,
+        start_b,
+        arrival,
+        acc_a,
+        acc_b,
+    } = scratch;
+    if finish.len() < n {
+        finish.resize_with(n, || DiscreteRv::point(0.0));
+    }
 
     for &v in plan.topo_order() {
         let pv = schedule.machine_of(v);
@@ -53,55 +170,35 @@ pub fn evaluate_classic_full(
         // constraint; including both would take max(X, X) under the
         // independence assumption and bias the mean upward. The disjunctive
         // graph de-duplicates these edges for the same reason.
-        let mut start: Option<DiscreteRv> = plan.prev_on_proc()[v]
-            .filter(|&u| !dag.has_edge(u, v))
-            .map(|u| finish[u].clone().expect("topo order broken"));
+        let mut start = MaxAccum::new(&mut *start_a, &mut *start_b);
+        if let Some(u) = plan.prev_on_proc()[v].filter(|&u| !dag.has_edge(u, v)) {
+            start.fold(&finish[u], ws);
+        }
         for &(u, e) in dag.preds(v) {
             let pu = schedule.machine_of(u);
-            let fu = finish[u].as_ref().expect("topo order broken");
-            let arrival = if pu == pv {
+            if pu == pv {
                 // Same machine: zero communication.
-                fu.clone()
+                start.fold(&finish[u], ws);
             } else {
-                let comm = scenario.comm_dist(e, pu, pv);
-                let comm_rv = DiscreteRv::from_dist(&comm, grid);
-                fu.sum(&comm_rv)
-            };
-            start = Some(match start {
-                None => arrival,
-                Some(s) => s.max(&arrival),
-            });
+                finish[u].sum_into(cache.comm(scenario, e, pu, pv), ws, arrival);
+                start.fold(arrival, ws);
+            }
         }
-        let dur = DiscreteRv::from_dist(&scenario.task_dist(v, pv), grid);
-        let f = match start {
-            None => dur, // entry task starts at 0
-            Some(s) => s.sum(&dur),
-        };
-        finish[v] = Some(f);
+        let dur = cache.task(scenario, v, pv);
+        match start.current() {
+            None => finish[v].copy_from(dur), // entry task starts at 0
+            Some(s) => s.sum_into(dur, ws, &mut finish[v]),
+        }
     }
 
-    let finish: Vec<DiscreteRv> = finish.into_iter().map(|f| f.unwrap()).collect();
-
-    // Makespan: max over disjunctive sinks (tasks with no DAG successor and
-    // no machine successor; every other finish is dominated).
-    let mut next_on_proc = vec![false; n];
-    for p in 0..schedule.machine_count() {
-        let order = schedule.order_on(p);
-        for w in order.windows(2) {
-            next_on_proc[w[0]] = true;
-        }
+    // Makespan: max over the precomputed disjunctive sinks (tasks with no
+    // DAG successor and no machine successor; every other finish is
+    // dominated).
+    let mut makespan = MaxAccum::new(acc_a, acc_b);
+    for &v in plan.disjunctive_sinks() {
+        makespan.fold(&finish[v], ws);
     }
-    let mut makespan: Option<DiscreteRv> = None;
-    for v in 0..n {
-        if dag.out_degree(v) == 0 && !next_on_proc[v] {
-            makespan = Some(match makespan {
-                None => finish[v].clone(),
-                Some(m) => m.max(&finish[v]),
-            });
-        }
-    }
-    let makespan = makespan.expect("at least one sink");
-    (finish, makespan)
+    makespan.current().expect("at least one sink").clone()
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@
 //! classical independence recursion, which the paper found to give
 //! "similar results".
 
+use crate::cache::DiscretizedScenario;
 use crate::disjunctive::DisjunctiveGraph;
 use robusched_platform::Scenario;
 use robusched_randvar::DiscreteRv;
@@ -211,6 +212,21 @@ impl Net {
 /// # Panics
 /// Panics if the schedule is invalid for the scenario.
 pub fn evaluate_dodin(scenario: &Scenario, schedule: &Schedule, grid: usize) -> DiscreteRv {
+    let cache = DiscretizedScenario::new(scenario, grid);
+    evaluate_dodin_cached(scenario, schedule, &cache)
+}
+
+/// [`evaluate_dodin`] drawing its leaf discretizations from a shared
+/// [`DiscretizedScenario`] (grid = `cache.grid()`), so repeated evaluations
+/// of the same scenario stop re-sampling the Beta densities.
+///
+/// # Panics
+/// Panics if the schedule is invalid for the scenario.
+pub fn evaluate_dodin_cached(
+    scenario: &Scenario,
+    schedule: &Schedule,
+    cache: &DiscretizedScenario,
+) -> DiscreteRv {
     let dg = DisjunctiveGraph::build(&scenario.graph.dag, schedule);
     let n = scenario.task_count();
 
@@ -228,7 +244,7 @@ pub fn evaluate_dodin(scenario: &Scenario, schedule: &Schedule, grid: usize) -> 
 
     for v in 0..n {
         let p = schedule.machine_of(v);
-        let rv = DiscreteRv::from_dist(&scenario.task_dist(v, p), grid);
+        let rv = cache.task(scenario, v, p).clone();
         net.add_arc(ev_in[v], ev_out[v], rv);
     }
     for (u, v, aug_e) in dg.dag.edge_triples() {
@@ -239,7 +255,7 @@ pub fn evaluate_dodin(scenario: &Scenario, schedule: &Schedule, grid: usize) -> 
                 if pu == pv {
                     DiscreteRv::point(0.0)
                 } else {
-                    DiscreteRv::from_dist(&scenario.comm_dist(orig, pu, pv), grid)
+                    cache.comm(scenario, orig, pu, pv).clone()
                 }
             }
             None => DiscreteRv::point(0.0),

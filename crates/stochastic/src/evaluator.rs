@@ -12,13 +12,66 @@
 //! budget, …) so a study can be re-run under a different backend by
 //! swapping one trait object.
 
-use crate::classic::evaluate_classic_grid;
-use crate::dodin::evaluate_dodin;
+use crate::cache::DiscretizedScenario;
+use crate::classic::{evaluate_classic_cached, ClassicScratch};
+use crate::dodin::evaluate_dodin_cached;
 use crate::montecarlo::{mc_makespans, McConfig};
 use crate::spelde::evaluate_spelde;
 use robusched_platform::Scenario;
-use robusched_randvar::{DiscreteRv, DEFAULT_GRID};
+use robusched_randvar::{DiscreteRv, RvWorkspace, DEFAULT_GRID};
 use robusched_sched::Schedule;
+use std::sync::Arc;
+
+/// Shared, read-only precomputation a backend derives from a scenario
+/// (see [`Evaluator::prepare`]). Cloning is cheap (`Arc`), so a study
+/// prepares once and hands a clone to every worker's [`EvalContext`].
+#[derive(Debug, Clone, Default)]
+pub enum PreparedScenario {
+    /// The backend has no shared precomputation.
+    #[default]
+    None,
+    /// Lazily discretized task/communication distributions (classic and
+    /// Dodin backends).
+    Discretized(Arc<DiscretizedScenario>),
+}
+
+/// Per-worker evaluation state: the shared [`PreparedScenario`] plus
+/// mutable scratch (RV workspace, classic recursion buffers) that makes the
+/// steady-state hot path allocation-free. Construct one per worker thread
+/// with the study's prepared scenario and thread it through
+/// [`Evaluator::evaluate_with`].
+#[derive(Debug, Default)]
+pub struct EvalContext {
+    pub(crate) prep: PreparedScenario,
+    pub(crate) ws: RvWorkspace,
+    pub(crate) classic: ClassicScratch,
+}
+
+impl EvalContext {
+    /// A context carrying the given shared precomputation.
+    pub fn new(prep: PreparedScenario) -> Self {
+        Self {
+            prep,
+            ws: RvWorkspace::new(),
+            classic: ClassicScratch::new(),
+        }
+    }
+
+    /// A context with no shared precomputation (every evaluation prepares
+    /// privately).
+    pub fn empty() -> Self {
+        Self::new(PreparedScenario::None)
+    }
+
+    /// The discretization cache, if this context carries one *matching*
+    /// the given scenario and grid.
+    fn discretized(&self, scenario: &Scenario, grid: usize) -> Option<&Arc<DiscretizedScenario>> {
+        match &self.prep {
+            PreparedScenario::Discretized(c) if c.grid() == grid && c.matches(scenario) => Some(c),
+            _ => None,
+        }
+    }
+}
 
 /// A makespan-distribution backend: maps `(scenario, schedule)` to the
 /// makespan random variable on a discretized grid.
@@ -29,6 +82,14 @@ use robusched_sched::Schedule;
 /// All bundled backends satisfy this, including Monte-Carlo (fixed
 /// per-chunk seeding).
 ///
+/// The workhorse method is [`evaluate_with`](Evaluator::evaluate_with):
+/// batch callers call [`prepare`](Evaluator::prepare) once per scenario,
+/// build one [`EvalContext`] per worker, and evaluate every schedule
+/// through it — shared discretizations are computed once and scratch
+/// buffers are reused across schedules. [`evaluate`](Evaluator::evaluate)
+/// is the historical convenience wrapper (fresh context per call) and
+/// yields identical distributions.
+///
 /// # Panics
 /// Bundled implementations panic if the schedule is invalid for the
 /// scenario — studies only feed schedules produced by validated
@@ -37,8 +98,29 @@ pub trait Evaluator: Send + Sync {
     /// Display/registry name (e.g. `"classic"`).
     fn name(&self) -> &str;
 
-    /// The makespan distribution of `schedule` under `scenario`.
-    fn evaluate(&self, scenario: &Scenario, schedule: &Schedule) -> DiscreteRv;
+    /// Shared read-only precomputation for evaluating many schedules under
+    /// one scenario. The default is no precomputation.
+    fn prepare(&self, _scenario: &Scenario) -> PreparedScenario {
+        PreparedScenario::None
+    }
+
+    /// The makespan distribution of `schedule` under `scenario`, using
+    /// (and warming) the caller's context. Must return the same
+    /// distribution as [`evaluate`](Evaluator::evaluate) for any context —
+    /// prepared, empty, or warmed by other schedules.
+    fn evaluate_with(
+        &self,
+        scenario: &Scenario,
+        schedule: &Schedule,
+        cx: &mut EvalContext,
+    ) -> DiscreteRv;
+
+    /// The makespan distribution of `schedule` under `scenario`
+    /// (convenience wrapper: prepares and evaluates in one call).
+    fn evaluate(&self, scenario: &Scenario, schedule: &Schedule) -> DiscreteRv {
+        let mut cx = EvalContext::new(self.prepare(scenario));
+        self.evaluate_with(scenario, schedule, &mut cx)
+    }
 }
 
 /// The paper's evaluator: topological walk with PDF-convolution sums and
@@ -60,8 +142,28 @@ impl Evaluator for ClassicEvaluator {
         "classic"
     }
 
-    fn evaluate(&self, scenario: &Scenario, schedule: &Schedule) -> DiscreteRv {
-        evaluate_classic_grid(scenario, schedule, self.grid)
+    fn prepare(&self, scenario: &Scenario) -> PreparedScenario {
+        PreparedScenario::Discretized(Arc::new(DiscretizedScenario::new(scenario, self.grid)))
+    }
+
+    fn evaluate_with(
+        &self,
+        scenario: &Scenario,
+        schedule: &Schedule,
+        cx: &mut EvalContext,
+    ) -> DiscreteRv {
+        match cx.discretized(scenario, self.grid) {
+            Some(cache) => {
+                let cache = cache.clone();
+                evaluate_classic_cached(scenario, schedule, &cache, &mut cx.ws, &mut cx.classic)
+            }
+            None => {
+                // Context prepared for another scenario/backend: fall back
+                // to a private (lazy) cache — same numerics, no sharing.
+                let cache = DiscretizedScenario::new(scenario, self.grid);
+                evaluate_classic_cached(scenario, schedule, &cache, &mut cx.ws, &mut cx.classic)
+            }
+        }
     }
 }
 
@@ -84,7 +186,14 @@ impl Evaluator for SpeldeEvaluator {
         "spelde"
     }
 
-    fn evaluate(&self, scenario: &Scenario, schedule: &Schedule) -> DiscreteRv {
+    fn evaluate_with(
+        &self,
+        scenario: &Scenario,
+        schedule: &Schedule,
+        _cx: &mut EvalContext,
+    ) -> DiscreteRv {
+        // Spelde works on closed-form moment pairs — there is nothing to
+        // discretize or cache.
         evaluate_spelde(scenario, schedule).to_rv(self.grid)
     }
 }
@@ -108,8 +217,23 @@ impl Evaluator for DodinEvaluator {
         "dodin"
     }
 
-    fn evaluate(&self, scenario: &Scenario, schedule: &Schedule) -> DiscreteRv {
-        evaluate_dodin(scenario, schedule, self.grid)
+    fn prepare(&self, scenario: &Scenario) -> PreparedScenario {
+        PreparedScenario::Discretized(Arc::new(DiscretizedScenario::new(scenario, self.grid)))
+    }
+
+    fn evaluate_with(
+        &self,
+        scenario: &Scenario,
+        schedule: &Schedule,
+        cx: &mut EvalContext,
+    ) -> DiscreteRv {
+        match cx.discretized(scenario, self.grid) {
+            Some(cache) => evaluate_dodin_cached(scenario, schedule, cache),
+            None => {
+                let cache = DiscretizedScenario::new(scenario, self.grid);
+                evaluate_dodin_cached(scenario, schedule, &cache)
+            }
+        }
     }
 }
 
@@ -151,7 +275,12 @@ impl Evaluator for MonteCarloEvaluator {
         "montecarlo"
     }
 
-    fn evaluate(&self, scenario: &Scenario, schedule: &Schedule) -> DiscreteRv {
+    fn evaluate_with(
+        &self,
+        scenario: &Scenario,
+        schedule: &Schedule,
+        _cx: &mut EvalContext,
+    ) -> DiscreteRv {
         let ms = mc_makespans(
             scenario,
             schedule,

@@ -23,7 +23,12 @@
 //!
 //! [`evaluator`] puts all four behind the object-safe [`Evaluator`] trait
 //! (with a by-name [`registry`]) so studies can swap the backend without
-//! naming concrete functions.
+//! naming concrete functions. The trait's batch surface —
+//! [`Evaluator::prepare`] + [`Evaluator::evaluate_with`] with a per-worker
+//! [`EvalContext`] — shares one [`cache::DiscretizedScenario`] (every
+//! task/communication distribution quantized once per scenario and grid)
+//! across all schedules and threads of a study and reuses scratch buffers,
+//! keeping the analytic hot path allocation-free.
 //!
 //! [`disjunctive`] builds the schedule-augmented precedence graph
 //! (§II: "adding edges between independent tasks when they are scheduled
@@ -32,6 +37,7 @@
 //! one (Fig. 1 / Fig. 2).
 
 pub mod accuracy;
+pub mod cache;
 pub mod classic;
 pub mod criticality;
 pub mod disjunctive;
@@ -41,13 +47,16 @@ pub mod montecarlo;
 pub mod spelde;
 
 pub use accuracy::AccuracyReport;
-pub use classic::{evaluate_classic, evaluate_classic_full};
+pub use cache::DiscretizedScenario;
+pub use classic::{
+    evaluate_classic, evaluate_classic_cached, evaluate_classic_full, ClassicScratch,
+};
 pub use criticality::criticality_indices;
 pub use disjunctive::DisjunctiveGraph;
-pub use dodin::evaluate_dodin;
+pub use dodin::{evaluate_dodin, evaluate_dodin_cached};
 pub use evaluator::{
-    evaluator_by_name, registry, ClassicEvaluator, DodinEvaluator, Evaluator, MonteCarloEvaluator,
-    SpeldeEvaluator,
+    evaluator_by_name, registry, ClassicEvaluator, DodinEvaluator, EvalContext, Evaluator,
+    MonteCarloEvaluator, PreparedScenario, SpeldeEvaluator,
 };
 pub use montecarlo::{mc_makespans, McConfig};
 pub use spelde::{evaluate_spelde, SpeldeResult};

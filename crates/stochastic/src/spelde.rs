@@ -17,7 +17,7 @@
 
 use robusched_numeric::special::{norm_cdf, norm_pdf};
 use robusched_platform::Scenario;
-use robusched_randvar::{DiscreteRv, Dist, Normal};
+use robusched_randvar::{DiscreteRv, Normal};
 use robusched_sched::{EagerPlan, Schedule};
 
 /// A makespan estimate as a Gaussian (mean, std-dev).
@@ -111,10 +111,11 @@ pub fn evaluate_spelde(scenario: &Scenario, schedule: &Schedule) -> SpeldeResult
             let arrival = if pu == pv {
                 finish[u]
             } else {
-                let comm = scenario.comm_dist(e, pu, pv);
+                // Closed-form moments — no distribution is materialized.
+                let std = scenario.std_comm_cost(e, pu, pv);
                 finish[u].sum(MomentPair {
-                    mean: comm.mean(),
-                    var: comm.variance(),
+                    mean: scenario.mean_comm_cost(e, pu, pv),
+                    var: std * std,
                 })
             };
             start = Some(match start {
@@ -122,10 +123,10 @@ pub fn evaluate_spelde(scenario: &Scenario, schedule: &Schedule) -> SpeldeResult
                 Some(s) => s.max(arrival),
             });
         }
-        let dur = scenario.task_dist(v, pv);
+        let dur_std = scenario.std_task_cost(v, pv);
         let dur_mp = MomentPair {
-            mean: dur.mean(),
-            var: dur.variance(),
+            mean: scenario.mean_task_cost(v, pv),
+            var: dur_std * dur_std,
         };
         finish[v] = match start {
             None => dur_mp,
@@ -134,21 +135,13 @@ pub fn evaluate_spelde(scenario: &Scenario, schedule: &Schedule) -> SpeldeResult
         done[v] = true;
     }
 
-    // Max over disjunctive sinks.
-    let mut next_on_proc = vec![false; n];
-    for p in 0..schedule.machine_count() {
-        for w in schedule.order_on(p).windows(2) {
-            next_on_proc[w[0]] = true;
-        }
-    }
+    // Max over the disjunctive sinks precomputed by the plan.
     let mut acc: Option<MomentPair> = None;
-    for v in 0..n {
-        if dag.out_degree(v) == 0 && !next_on_proc[v] {
-            acc = Some(match acc {
-                None => finish[v],
-                Some(m) => m.max(finish[v]),
-            });
-        }
+    for &v in plan.disjunctive_sinks() {
+        acc = Some(match acc {
+            None => finish[v],
+            Some(m) => m.max(finish[v]),
+        });
     }
     let mp = acc.expect("at least one sink");
     SpeldeResult {

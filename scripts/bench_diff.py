@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and report per-group deltas.
+
+Usage:
+    python3 scripts/bench_diff.py BASELINE.json CURRENT.json
+        [--fail-regression GLOB] [--threshold PCT]
+
+Prints one line per benchmark present in both files (delta < 0 means the
+current run is faster) plus a per-group geometric-mean summary. The report
+is advisory except for benchmarks matching ``--fail-regression`` (default
+``discrete-rv/*``): if any of those regressed by more than ``--threshold``
+percent (default 25), the script exits non-zero.
+
+Both files must come from the same machine for the comparison to mean
+anything; the script warns when the recorded environments differ.
+"""
+
+import argparse
+import fnmatch
+import json
+import math
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    return doc, {b["name"]: float(b["ns_per_iter"]) for b in doc.get("benchmarks", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--fail-regression",
+        default="discrete-rv/*",
+        help="glob of benchmark names whose regression fails the check",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="regression percentage that turns advisory into failure",
+    )
+    args = ap.parse_args()
+
+    base_doc, base = load(args.baseline)
+    cur_doc, cur = load(args.current)
+
+    base_env = base_doc.get("environment", {})
+    cur_env = cur_doc.get("environment", {})
+    if base_env.get("cpu") != cur_env.get("cpu"):
+        print(
+            f"WARNING: environments differ ({base_env.get('cpu')} vs "
+            f"{cur_env.get('cpu')}); deltas are not comparable.",
+            file=sys.stderr,
+        )
+
+    shared = [name for name in base if name in cur]
+    missing = sorted(set(base) - set(cur))
+    added = sorted(set(cur) - set(base))
+    if not shared:
+        print("ERROR: no common benchmarks between the two files", file=sys.stderr)
+        return 2
+
+    groups = {}
+    failures = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
+    for name in shared:
+        b, c = base[name], cur[name]
+        delta = (c - b) / b * 100.0
+        print(f"{name:<{width}}  {b:>10.0f}ns  {c:>10.0f}ns  {delta:>+7.1f}%")
+        group = name.split("/")[0]
+        groups.setdefault(group, []).append(c / b)
+        if fnmatch.fnmatch(name, args.fail_regression) and delta > args.threshold:
+            failures.append((name, delta))
+
+    print()
+    print("per-group geometric-mean ratio (current / baseline; < 1 is faster):")
+    for group in sorted(groups):
+        ratios = groups[group]
+        gm = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        speedup = 1.0 / gm if gm > 0 else float("inf")
+        print(f"  {group:<24} {gm:6.3f}  ({speedup:.2f}x)")
+
+    for name in missing:
+        print(f"note: '{name}' only in baseline")
+    for name in added:
+        print(f"note: '{name}' only in current")
+
+    if failures:
+        print(file=sys.stderr)
+        for name, delta in failures:
+            print(
+                f"FAIL: {name} regressed {delta:+.1f}% "
+                f"(> {args.threshold:.0f}% threshold)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
