@@ -198,10 +198,68 @@ fn evaluators(c: &mut Criterion) {
                 realizations: 2048,
                 seed: 7,
                 threads: Some(1),
+                ..Default::default()
             },
             |cfg| mc_makespans(&s, &sched, &cfg),
             BatchSize::SmallInput,
         )
+    });
+    g.finish();
+}
+
+/// The batched Monte-Carlo engine: per-estimator steady-state cost against
+/// prepared sampling tables, the table build itself, and the bare SoA
+/// replay kernel. These are the `mc-*` groups `scripts/bench_diff.py`
+/// guards against regression.
+fn mc_engine(c: &mut Criterion) {
+    use robusched_randvar::{Beta, QuantileTable};
+    use robusched_sched::{EagerPlan, ReplayScratch};
+    use robusched_stochastic::{mc_makespans_prepared, McEstimator, SamplingTables};
+    let s = bench_scenario();
+    let sched = bench_schedule(&s);
+    let tables = SamplingTables::new(&s);
+    let mut g = c.benchmark_group("mc-engine");
+    g.sample_size(20);
+    for (name, estimator) in [
+        ("standard-2048", McEstimator::Standard),
+        ("antithetic-2048", McEstimator::Antithetic),
+        ("stratified-2048", McEstimator::Stratified),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = McConfig {
+                realizations: 2048,
+                seed: 7,
+                threads: Some(1),
+                estimator,
+            };
+            b.iter(|| mc_makespans_prepared(black_box(&s), black_box(&sched), &cfg, &tables))
+        });
+    }
+    g.bench_function("quantile-table-build", |b| {
+        let shape = Beta::paper_default();
+        b.iter(|| QuantileTable::with_default_resolution(black_box(&shape)))
+    });
+    g.bench_function("replay-block-256", |b| {
+        let dag = &s.graph.dag;
+        let plan = EagerPlan::new(dag, &sched).unwrap();
+        let (n, e) = (dag.node_count(), dag.edge_count());
+        const W: usize = 256;
+        let task: Vec<f64> = (0..n * W).map(|i| 1.0 + (i % 17) as f64).collect();
+        let comm: Vec<f64> = (0..e * W).map(|i| (i % 5) as f64 * 0.5).collect();
+        let mut out = vec![0.0; W];
+        let mut scratch = ReplayScratch::new();
+        b.iter(|| {
+            plan.replay_block(
+                dag,
+                black_box(&task),
+                black_box(&comm),
+                W,
+                W,
+                &mut scratch,
+                &mut out,
+            );
+            out[0]
+        })
     });
     g.finish();
 }
@@ -212,6 +270,7 @@ criterion_group!(
     rv_calculus,
     heuristics,
     evaluators,
+    mc_engine,
     grid_resolution_ablation,
     app_workloads,
     study_streaming

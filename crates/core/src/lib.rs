@@ -36,7 +36,10 @@ pub mod optimize;
 pub mod streaming;
 pub mod study;
 
-pub use metrics::{compute_metrics, metric_index, MetricOptions, MetricValues, METRIC_LABELS};
+pub use metrics::{
+    compute_metrics, distribution_stats, metric_index, DistributionStats, MetricOptions,
+    MetricValues, METRIC_LABELS,
+};
 pub use optimize::{pareto_search, ParetoPoint, SearchConfig};
 pub use streaming::{RankReservoir, StreamingMoments};
 #[allow(deprecated)]

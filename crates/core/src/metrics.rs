@@ -101,6 +101,37 @@ impl MetricValues {
     }
 }
 
+/// The three distribution-only robustness statistics (no schedule/slack
+/// context): makespan standard deviation, average lateness
+/// `L = E[M | M > E(M)] − E(M)`, and differential entropy — the quantities
+/// the Monte-Carlo convergence study (`ext-mc-convergence`) measures
+/// estimator error on, computed with exactly the conventions of
+/// [`compute_metrics`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionStats {
+    /// `E(M)`.
+    pub mean: f64,
+    /// `σ_M`.
+    pub std_dev: f64,
+    /// Average lateness `L`.
+    pub avg_lateness: f64,
+    /// Differential entropy `h(M)` (standard sign; see DESIGN.md §1).
+    pub entropy: f64,
+}
+
+/// Computes [`DistributionStats`] from a makespan distribution.
+pub fn distribution_stats(makespan: &DiscreteRv) -> DistributionStats {
+    let e = makespan.mean();
+    DistributionStats {
+        mean: e,
+        std_dev: makespan.std_dev(),
+        avg_lateness: makespan
+            .conditional_mean_above(e)
+            .map_or(0.0, |m_late| m_late - e),
+        entropy: makespan.entropy(),
+    }
+}
+
 /// Computes every §IV metric for one schedule given its makespan
 /// distribution (produced by any of the `robusched-stochastic`
 /// evaluators).

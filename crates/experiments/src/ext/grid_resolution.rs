@@ -39,6 +39,7 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Vec<GridRow>> {
             realizations: opts.count(100_000, 5_000),
             seed: derive_seed(opts.seed, 9902),
             threads: None,
+            ..Default::default()
         },
     );
     let mut rows = Vec::new();

@@ -9,11 +9,13 @@
 //! | [`sigma_heuristic`] | "an efficient heuristic … based on the standard deviation of every task's duration" — σ-HEFT vs HEFT |
 //! | [`apps`] | scenario diversity beyond the future-work list: the metric-correlation study on structured application DAGs (Cholesky, LU, FFT, stencil, fork-join) |
 //! | [`backends`] | robustness of the §VI conclusion itself: the correlation protocol re-run under every registered makespan evaluator (classic, Spelde, Dodin, Monte-Carlo) |
+//! | [`mc_convergence`] | the cost of the ground truth: realization-budget convergence of σ/L/h per Monte-Carlo estimator (plain, antithetic, stratified) vs the classic baseline |
 
 pub mod apps;
 pub mod backends;
 pub mod distributions;
 pub mod grid_resolution;
+pub mod mc_convergence;
 pub mod pareto;
 pub mod sigma_heuristic;
 pub mod var_ul;

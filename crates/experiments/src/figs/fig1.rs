@@ -10,7 +10,9 @@ use crate::RunOptions;
 use robusched_platform::Scenario;
 use robusched_randvar::derive_seed;
 use robusched_sched::random_schedule;
-use robusched_stochastic::{accuracy, evaluate_classic, mc_makespans, McConfig};
+use robusched_stochastic::{
+    accuracy, evaluate_classic, mc_makespans_prepared, McConfig, SamplingTables,
+};
 
 /// One point of the Fig. 1 series.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +40,8 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Vec<Point>> {
     let mut points = Vec::new();
     for (i, &(n, m)) in sizes.iter().enumerate() {
         let scenario = Scenario::paper_random(n, m, 1.1, derive_seed(opts.seed, i as u64));
+        // Cheap: the per-family base table is cached process-wide.
+        let tables = SamplingTables::new(&scenario);
         let mut ks_acc = 0.0;
         let mut cm_acc = 0.0;
         for k in 0..schedules_per_size {
@@ -47,14 +51,16 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Vec<Point>> {
                 derive_seed(opts.seed, 100 + (i * 97 + k) as u64),
             );
             let analytic = evaluate_classic(&scenario, &sched);
-            let samples = mc_makespans(
+            let samples = mc_makespans_prepared(
                 &scenario,
                 &sched,
                 &McConfig {
                     realizations,
                     seed: derive_seed(opts.seed, 500 + k as u64),
                     threads: None,
+                    ..Default::default()
                 },
+                &tables,
             );
             let rep = accuracy::compare(&analytic, &samples);
             ks_acc += rep.ks;

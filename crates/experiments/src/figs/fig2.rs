@@ -10,7 +10,9 @@ use crate::RunOptions;
 use robusched_platform::Scenario;
 use robusched_randvar::{derive_seed, DiscreteRv};
 use robusched_sched::random_schedule;
-use robusched_stochastic::{accuracy, evaluate_classic, mc_makespans, McConfig};
+use robusched_stochastic::{
+    accuracy, evaluate_classic, mc_makespans_prepared, McConfig, SamplingTables,
+};
 
 /// Output of the overlay experiment.
 #[derive(Debug, Clone)]
@@ -32,14 +34,16 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Overlay> {
     let scenario = Scenario::paper_random(100, 16, 1.1, derive_seed(opts.seed, 31));
     let sched = random_schedule(&scenario.graph.dag, 16, derive_seed(opts.seed, 32));
     let analytic = evaluate_classic(&scenario, &sched);
-    let samples = mc_makespans(
+    let samples = mc_makespans_prepared(
         &scenario,
         &sched,
         &McConfig {
             realizations: opts.count(100_000, 5_000),
             seed: derive_seed(opts.seed, 33),
             threads: None,
+            ..Default::default()
         },
+        &SamplingTables::new(&scenario),
     );
     let rep = accuracy::compare(&analytic, &samples);
     let empirical = DiscreteRv::from_samples(&samples, 64);
@@ -51,11 +55,13 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Overlay> {
     let analytic_pdf: Vec<f64> = xs.iter().map(|&x| analytic.pdf_at(x)).collect();
     let empirical_pdf: Vec<f64> = xs.iter().map(|&x| empirical.pdf_at(x)).collect();
 
-    let mut csv = String::from("x,analytic_pdf,empirical_pdf\n");
-    for ((x, a), e) in xs.iter().zip(&analytic_pdf).zip(&empirical_pdf) {
-        csv.push_str(&format!("{x:.6},{a:.8},{e:.8}\n"));
+    if opts.out_dir.is_some() {
+        let mut csv = String::from("x,analytic_pdf,empirical_pdf\n");
+        for ((x, a), e) in xs.iter().zip(&analytic_pdf).zip(&empirical_pdf) {
+            csv.push_str(&format!("{x:.6},{a:.8},{e:.8}\n"));
+        }
+        opts.write_artifact("fig2_overlay.csv", &csv)?;
     }
-    opts.write_artifact("fig2_overlay.csv", &csv)?;
 
     Ok(Overlay {
         xs,

@@ -32,11 +32,15 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Fig7> {
     let special_pdf: Vec<f64> = xs.iter().map(|&x| special.pdf(x)).collect();
     let normal_pdf: Vec<f64> = xs.iter().map(|&x| normal.pdf(x)).collect();
 
-    let mut csv = String::from("x,special_pdf,normal_pdf\n");
-    for ((x, s), n) in xs.iter().zip(&special_pdf).zip(&normal_pdf) {
-        csv.push_str(&format!("{x:.4},{s:.8},{n:.8}\n"));
+    // Only render the CSV when a sink exists — formatting 400 lines costs
+    // more than the densities themselves.
+    if opts.out_dir.is_some() {
+        let mut csv = String::from("x,special_pdf,normal_pdf\n");
+        for ((x, s), n) in xs.iter().zip(&special_pdf).zip(&normal_pdf) {
+            csv.push_str(&format!("{x:.4},{s:.8},{n:.8}\n"));
+        }
+        opts.write_artifact("fig7_special_vs_normal.csv", &csv)?;
     }
-    opts.write_artifact("fig7_special_vs_normal.csv", &csv)?;
 
     Ok(Fig7 {
         xs,

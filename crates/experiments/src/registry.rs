@@ -71,7 +71,7 @@ fn run_fig6(opts: &RunOptions) -> std::io::Result<String> {
     Ok(figs::fig6::render(&f))
 }
 
-static REGISTRY: [ExperimentEntry; 16] = [
+static REGISTRY: [ExperimentEntry; 17] = [
     ExperimentEntry {
         name: "fig1",
         about: "KS/CM accuracy of the independence assumption vs graph size",
@@ -168,6 +168,13 @@ static REGISTRY: [ExperimentEntry; 16] = [
         group: ExperimentGroup::Extension,
         run: |o| Ok(ext::backends::render(&ext::backends::run(o)?)),
     },
+    ExperimentEntry {
+        name: "ext-mc-convergence",
+        about:
+            "Monte-Carlo realization-budget convergence per estimator (plain/antithetic/stratified)",
+        group: ExperimentGroup::Extension,
+        run: |o| Ok(ext::mc_convergence::render(&ext::mc_convergence::run(o)?)),
+    },
 ];
 
 /// All registered experiments, figures first, in run order.
@@ -205,10 +212,10 @@ mod tests {
     #[test]
     fn every_entry_resolvable_and_unique() {
         let mut names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 17);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 16, "duplicate experiment names");
+        assert_eq!(names.len(), 17, "duplicate experiment names");
         for e in registry() {
             let found = experiment_by_name(e.name()).expect("resolvable");
             assert_eq!(found.name(), e.name());
@@ -228,7 +235,7 @@ mod tests {
             .filter(|e| e.group() == ExperimentGroup::Extension)
             .count();
         assert_eq!(figures, 9);
-        assert_eq!(extensions, 7);
+        assert_eq!(extensions, 8);
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub use convolution::{
 pub use fft::{fft_inplace, ifft_inplace, Complex, FftPlan};
 pub use grid::linspace;
 pub use integrate::{cumulative_trapezoid, simpson_uniform, trapezoid_uniform};
-pub use interp::{CubicSpline, LinearInterp, SplineScratch, UniformLocalCubic, UniformSpline};
+pub use interp::{
+    monotone_clamp, CubicSpline, LinearInterp, MonotoneCubic, SplineScratch, UniformLocalCubic,
+    UniformSpline,
+};
 pub use kahan::KahanSum;
 pub use special::{erf, erfc, ln_gamma, norm_cdf, norm_pdf, reg_inc_beta, reg_inc_gamma};
 

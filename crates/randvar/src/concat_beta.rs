@@ -95,17 +95,46 @@ impl ConcatBeta {
     pub fn lobe_count(&self) -> usize {
         self.lobes.len()
     }
+
+    /// Index of the lobe whose subinterval contains `x` (clamped; lobes
+    /// tile `[lo, hi]` with equal widths, so this is one multiply).
+    fn lobe_index(&self, x: f64) -> usize {
+        let k = self.lobes.len();
+        (((x - self.lo) / (self.hi - self.lo) * k as f64) as usize).min(k - 1)
+    }
 }
 
 impl Dist for ConcatBeta {
     fn pdf(&self, x: f64) -> f64 {
-        let w = 1.0 / self.lobes.len() as f64;
-        self.lobes.iter().map(|l| w * l.pdf(x)).sum()
+        if x < self.lo || x > self.hi {
+            return 0.0;
+        }
+        // Only the containing lobe has positive density at `x` — except
+        // exactly on a shared boundary, where the adjacent lobe's endpoint
+        // density (nonzero for α ≤ 1 / β ≤ 1 shapes) must be added too.
+        // Rounding may put a boundary point in either neighbor, so check
+        // both edges of the indexed lobe.
+        let idx = self.lobe_index(x);
+        let mut p = self.lobes[idx].pdf(x);
+        if idx > 0 && x == self.lobes[idx].lo {
+            p += self.lobes[idx - 1].pdf(x);
+        } else if idx + 1 < self.lobes.len() && x == self.lobes[idx].hi {
+            p += self.lobes[idx + 1].pdf(x);
+        }
+        p / self.lobes.len() as f64
     }
 
     fn cdf(&self, x: f64) -> f64 {
-        let w = 1.0 / self.lobes.len() as f64;
-        self.lobes.iter().map(|l| w * l.cdf(x)).sum()
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return 1.0;
+        }
+        // Every earlier lobe contributes its full weight, the containing
+        // lobe its partial mass.
+        let idx = self.lobe_index(x);
+        (idx as f64 + self.lobes[idx].cdf(x)) / self.lobes.len() as f64
     }
 
     fn mean(&self) -> f64 {
@@ -194,6 +223,28 @@ mod tests {
         let m = c.mean();
         let v = integrate_fn(|x| (x - m) * (x - m) * c.pdf(x), 0.0, 30.0, 8001);
         assert!(approx_eq(v, c.variance(), 1e-4));
+    }
+
+    #[test]
+    fn boundary_density_counts_both_adjacent_lobes() {
+        // Beta(1, 1) lobes are rectangles: the density is nonzero at both
+        // lobe endpoints, so an internal boundary point must see *both*
+        // neighbors regardless of which lobe the index rounding picks.
+        // Offset lo so (x − lo)/(hi − lo)·k is inexact at the boundaries.
+        let c = ConcatBeta::new(3, 1.0, 1.0, 0.1, 0.7);
+        // Mirror the constructor's boundary arithmetic exactly (the
+        // special case triggers on bit-equal boundary points).
+        let width = (0.7 - 0.1) / 3.0;
+        for boundary in [0.1 + width, 0.1 + width * 2.0] {
+            let inside = c.pdf(boundary - 1e-9);
+            let at = c.pdf(boundary);
+            // Interior density of a rect lobe is k/(hi−lo)·(1/k) = 1/span;
+            // at a shared boundary both lobes contribute that density.
+            assert!(
+                (at - 2.0 * inside).abs() < 1e-6,
+                "pdf({boundary}) = {at}, interior {inside}"
+            );
+        }
     }
 
     #[test]

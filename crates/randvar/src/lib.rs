@@ -26,6 +26,8 @@
 //!   behind the allocation-free `sum_into`/`max_into`/`min_into` kernels
 //!   (the allocating operators route through a thread-local instance).
 
+#![deny(missing_docs)]
+
 pub mod beta;
 pub mod concat_beta;
 pub mod dirac;

@@ -28,6 +28,8 @@
 //! [`Heuristic`] trait with a by-name [`registry`], so studies can swap
 //! heuristics without naming concrete functions.
 
+#![deny(missing_docs)]
+
 pub mod bil;
 pub mod bmct;
 pub mod cpop;
@@ -43,7 +45,7 @@ pub mod timeline;
 pub use bil::bil;
 pub use bmct::hyb_bmct;
 pub use cpop::cpop;
-pub use eager::{EagerPlan, ExecResult};
+pub use eager::{EagerPlan, ExecResult, ReplayScratch};
 pub use heft::heft;
 pub use heuristic::{heuristic_by_name, registry, Heuristic};
 pub use random::random_schedule;

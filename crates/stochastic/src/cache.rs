@@ -20,9 +20,9 @@
 //! benign: every thread computes the same bits.
 
 use robusched_dag::{EdgeId, NodeId};
-use robusched_platform::{Scenario, UncertaintyKind};
-use robusched_randvar::DiscreteRv;
-use std::sync::OnceLock;
+use robusched_platform::{Scenario, UncertaintyKind, UncertaintyModel};
+use robusched_randvar::{DiscreteRv, QuantileTable};
+use std::sync::{Arc, OnceLock};
 
 /// FNV-1a fingerprint of everything that determines the discretized
 /// distributions: dimensions, uncertainty model (incl. per-task ULs),
@@ -161,9 +161,116 @@ impl DiscretizedScenario {
     }
 }
 
+/// Shared Monte-Carlo sampling tables for one scenario: one inverse-CDF
+/// [`QuantileTable`] per *distinct* duration distribution shape.
+///
+/// In the paper's model every uncertain weight is the same base shape
+/// (Beta(2, 5) — or the uniform/triangular substitutions) rescaled
+/// affinely onto `[w, UL·w]`, so the family collapses to a **single**
+/// table of the standard unit-support shape: a realization of any weight
+/// is `w + (UL−1)·w·Q(u)`. The table is the expensive part of a
+/// Monte-Carlo evaluation setup (~10³ safeguarded-Newton CDF inversions);
+/// building it per schedule — as the scalar engine used to — multiplied
+/// that cost across every schedule of a study. Like
+/// [`DiscretizedScenario`], one `SamplingTables` is built per scenario
+/// (see `Evaluator::prepare`) and shared read-only (`Arc`) by every worker
+/// thread.
+///
+/// ```
+/// use robusched_platform::Scenario;
+/// use robusched_stochastic::SamplingTables;
+///
+/// let scenario = Scenario::paper_random(10, 3, 1.1, 5);
+/// let tables = SamplingTables::new(&scenario);
+/// assert!(tables.matches(&scenario));
+/// let q = tables.base().unwrap().quantile(0.5); // median of Beta(2, 5)
+/// assert!(q > 0.0 && q < 1.0);
+/// ```
+#[derive(Debug)]
+pub struct SamplingTables {
+    kind: UncertaintyKind,
+    base: Option<Arc<QuantileTable>>,
+}
+
+/// The standard base shapes are *program constants* (Beta(2, 5), U(0, 1),
+/// Tri(0, 0.2, 1) — nothing scenario-specific enters a table), so their
+/// tables live in process-wide `OnceLock`s: the first `SamplingTables::new`
+/// of each family pays the ~ms tabulation, every later one is an `Arc`
+/// clone. Same pattern as the thread-local FFT-plan cache of
+/// `robusched-numeric` (DESIGN.md §9), hoisted to process scope because
+/// tables are shared read-only across threads anyway.
+fn shared_base_table(kind: UncertaintyKind) -> Option<Arc<QuantileTable>> {
+    static BETA25: OnceLock<Arc<QuantileTable>> = OnceLock::new();
+    static UNIFORM: OnceLock<Arc<QuantileTable>> = OnceLock::new();
+    static TRIANGULAR: OnceLock<Arc<QuantileTable>> = OnceLock::new();
+    let slot = match kind {
+        UncertaintyKind::Beta25 => &BETA25,
+        UncertaintyKind::Uniform => &UNIFORM,
+        UncertaintyKind::Triangular => &TRIANGULAR,
+        UncertaintyKind::None => return None,
+    };
+    Some(
+        slot.get_or_init(|| {
+            let shape = UncertaintyModel { ul: 2.0, kind }
+                .base_shape()
+                .expect("non-deterministic kinds have a base shape");
+            Arc::new(QuantileTable::with_default_resolution(&shape))
+        })
+        .clone(),
+    )
+}
+
+impl SamplingTables {
+    /// Builds (or fetches from the process-wide cache) the sampling tables
+    /// for `scenario`'s uncertainty model.
+    pub fn new(scenario: &Scenario) -> Self {
+        let kind = scenario.uncertainty.kind;
+        Self {
+            kind,
+            base: shared_base_table(kind),
+        }
+    }
+
+    /// `true` when these tables are valid for `scenario`. The tables are a
+    /// pure function of the uncertainty *family* (the affine `[w, UL·w]`
+    /// rescaling is applied per weight at sampling time), so any scenario
+    /// with the same [`UncertaintyKind`] matches — costs, seeds and
+    /// uncertainty levels are irrelevant here, unlike
+    /// [`DiscretizedScenario::matches`].
+    pub fn matches(&self, scenario: &Scenario) -> bool {
+        self.kind == scenario.uncertainty.kind
+    }
+
+    /// The quantile table of the standard (unit-support) base shape;
+    /// `None` for deterministic scenarios ([`UncertaintyKind::None`]).
+    pub fn base(&self) -> Option<&QuantileTable> {
+        self.base.as_deref()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sampling_tables_match_by_family() {
+        let s = Scenario::paper_random(10, 3, 1.1, 5);
+        let t = SamplingTables::new(&s);
+        assert!(t.matches(&s));
+        // Different costs/UL, same family: still valid.
+        assert!(t.matches(&Scenario::paper_random(20, 4, 1.5, 9)));
+        let mut det = Scenario::paper_random(10, 3, 1.1, 5);
+        det.uncertainty = robusched_platform::UncertaintyModel::none();
+        assert!(!t.matches(&det));
+        let dt = SamplingTables::new(&det);
+        assert!(dt.base().is_none());
+        // The base table inverts the base shape's CDF.
+        use robusched_randvar::Dist;
+        let shape = s.uncertainty.base_shape().unwrap();
+        for p in [0.1, 0.5, 0.9] {
+            assert!((t.base().unwrap().quantile(p) - shape.quantile(p)).abs() < 1e-9);
+        }
+    }
 
     #[test]
     fn cached_slots_match_direct_discretization() {

@@ -12,10 +12,10 @@
 //! budget, …) so a study can be re-run under a different backend by
 //! swapping one trait object.
 
-use crate::cache::DiscretizedScenario;
+use crate::cache::{DiscretizedScenario, SamplingTables};
 use crate::classic::{evaluate_classic_cached, ClassicScratch};
 use crate::dodin::evaluate_dodin_cached;
-use crate::montecarlo::{mc_makespans, McConfig};
+use crate::montecarlo::{mc_makespans_into, McConfig, McEstimator, McScratch};
 use crate::spelde::evaluate_spelde;
 use robusched_platform::Scenario;
 use robusched_randvar::{DiscreteRv, RvWorkspace, DEFAULT_GRID};
@@ -33,6 +33,9 @@ pub enum PreparedScenario {
     /// Lazily discretized task/communication distributions (classic and
     /// Dodin backends).
     Discretized(Arc<DiscretizedScenario>),
+    /// Inverse-CDF sampling tables of the uncertainty model's base shape
+    /// (the Monte-Carlo backends).
+    Sampling(Arc<SamplingTables>),
 }
 
 /// Per-worker evaluation state: the shared [`PreparedScenario`] plus
@@ -45,6 +48,7 @@ pub struct EvalContext {
     pub(crate) prep: PreparedScenario,
     pub(crate) ws: RvWorkspace,
     pub(crate) classic: ClassicScratch,
+    pub(crate) mc: McScratch,
 }
 
 impl EvalContext {
@@ -54,6 +58,7 @@ impl EvalContext {
             prep,
             ws: RvWorkspace::new(),
             classic: ClassicScratch::new(),
+            mc: McScratch::new(),
         }
     }
 
@@ -68,6 +73,15 @@ impl EvalContext {
     fn discretized(&self, scenario: &Scenario, grid: usize) -> Option<&Arc<DiscretizedScenario>> {
         match &self.prep {
             PreparedScenario::Discretized(c) if c.grid() == grid && c.matches(scenario) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The Monte-Carlo sampling tables, if this context carries ones
+    /// *matching* the given scenario's uncertainty family.
+    fn sampling(&self, scenario: &Scenario) -> Option<&Arc<SamplingTables>> {
+        match &self.prep {
+            PreparedScenario::Sampling(t) if t.matches(scenario) => Some(t),
             _ => None,
         }
     }
@@ -238,11 +252,23 @@ impl Evaluator for DodinEvaluator {
 }
 
 /// The Monte-Carlo ground truth as an [`Evaluator`]: sampled realizations
-/// replayed through the eager executor, binned into a grid RV.
+/// replayed block-at-a-time through the batched engine, binned into a grid
+/// RV.
 ///
 /// Every `evaluate` call reuses the same fixed seed — common random
 /// numbers across schedules, which *reduces* the variance of between-
 /// schedule comparisons (the quantity the correlation study cares about).
+///
+/// [`prepare`](Evaluator::prepare) returns the scenario's shared
+/// [`SamplingTables`]; with a prepared context the per-evaluation setup is
+/// a plan compile, not a table build. The registry carries one instance
+/// per [`McEstimator`] under the names `"montecarlo"`, `"mc-anti"` and
+/// `"mc-strat"`:
+///
+/// ```
+/// use robusched_stochastic::evaluator_by_name;
+/// assert_eq!(evaluator_by_name("mc-anti").unwrap().name(), "mc-anti");
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct MonteCarloEvaluator {
     /// Realizations per evaluation. The default (10 000) trades the
@@ -257,6 +283,8 @@ pub struct MonteCarloEvaluator {
     pub threads: Option<usize>,
     /// Grid resolution of the fitted empirical distribution.
     pub grid: usize,
+    /// Variance-reduction mode (selects the registry name).
+    pub estimator: McEstimator,
 }
 
 impl Default for MonteCarloEvaluator {
@@ -266,42 +294,81 @@ impl Default for MonteCarloEvaluator {
             seed: 0xC0FFEE,
             threads: Some(1),
             grid: DEFAULT_GRID,
+            estimator: McEstimator::Standard,
+        }
+    }
+}
+
+impl MonteCarloEvaluator {
+    /// The default configuration under a specific estimator.
+    pub fn with_estimator(estimator: McEstimator) -> Self {
+        Self {
+            estimator,
+            ..Default::default()
         }
     }
 }
 
 impl Evaluator for MonteCarloEvaluator {
     fn name(&self) -> &str {
-        "montecarlo"
+        match self.estimator {
+            McEstimator::Standard => "montecarlo",
+            McEstimator::Antithetic => "mc-anti",
+            McEstimator::Stratified => "mc-strat",
+        }
+    }
+
+    fn prepare(&self, scenario: &Scenario) -> PreparedScenario {
+        PreparedScenario::Sampling(Arc::new(SamplingTables::new(scenario)))
     }
 
     fn evaluate_with(
         &self,
         scenario: &Scenario,
         schedule: &Schedule,
-        _cx: &mut EvalContext,
+        cx: &mut EvalContext,
     ) -> DiscreteRv {
-        let ms = mc_makespans(
-            scenario,
-            schedule,
-            &McConfig {
-                realizations: self.realizations,
-                seed: self.seed,
-                threads: self.threads,
-            },
-        );
-        DiscreteRv::from_samples(&ms, self.grid)
+        let cfg = McConfig {
+            realizations: self.realizations,
+            seed: self.seed,
+            threads: self.threads,
+            estimator: self.estimator,
+        };
+        let tables = match cx.sampling(scenario) {
+            Some(t) => t.clone(),
+            // Context prepared for another scenario/backend: fall back to
+            // private tables — same numerics, no sharing.
+            None => Arc::new(SamplingTables::new(scenario)),
+        };
+        if cfg.threads == Some(1) {
+            // Serial path through the context scratch: a study worker
+            // reuses one duration matrix/replay buffer/sample buffer for
+            // every schedule it evaluates.
+            let mut samples = std::mem::take(&mut cx.mc.samples);
+            samples.resize(cfg.realizations, 0.0);
+            let scratch = &mut cx.mc;
+            // `samples` was detached above, so the scratch borrow is safe.
+            mc_makespans_into(scenario, schedule, &cfg, &tables, scratch, &mut samples);
+            let rv = DiscreteRv::from_samples(&samples, self.grid);
+            cx.mc.samples = samples;
+            rv
+        } else {
+            let ms = crate::montecarlo::mc_makespans_prepared(scenario, schedule, &cfg, &tables);
+            DiscreteRv::from_samples(&ms, self.grid)
+        }
     }
 }
 
 /// All bundled evaluators with their default configurations, classic
-/// first (the paper's choice).
+/// first (the paper's choice), the Monte-Carlo estimators last.
 pub fn registry() -> Vec<Box<dyn Evaluator>> {
     vec![
         Box::new(ClassicEvaluator::default()),
         Box::new(SpeldeEvaluator::default()),
         Box::new(DodinEvaluator::default()),
         Box::new(MonteCarloEvaluator::default()),
+        Box::new(MonteCarloEvaluator::with_estimator(McEstimator::Antithetic)),
+        Box::new(MonteCarloEvaluator::with_estimator(McEstimator::Stratified)),
     ]
 }
 

@@ -36,6 +36,8 @@
 //! area (CM) distances between an analytic distribution and the empirical
 //! one (Fig. 1 / Fig. 2).
 
+#![deny(missing_docs)]
+
 pub mod accuracy;
 pub mod cache;
 pub mod classic;
@@ -47,7 +49,7 @@ pub mod montecarlo;
 pub mod spelde;
 
 pub use accuracy::AccuracyReport;
-pub use cache::DiscretizedScenario;
+pub use cache::{DiscretizedScenario, SamplingTables};
 pub use classic::{
     evaluate_classic, evaluate_classic_cached, evaluate_classic_full, ClassicScratch,
 };
@@ -58,5 +60,5 @@ pub use evaluator::{
     evaluator_by_name, registry, ClassicEvaluator, DodinEvaluator, EvalContext, Evaluator,
     MonteCarloEvaluator, PreparedScenario, SpeldeEvaluator,
 };
-pub use montecarlo::{mc_makespans, McConfig};
+pub use montecarlo::{mc_makespans, mc_makespans_prepared, McConfig, McEstimator, McScratch};
 pub use spelde::{evaluate_spelde, SpeldeResult};

@@ -7,9 +7,10 @@ Usage:
 
 Prints one line per benchmark present in both files (delta < 0 means the
 current run is faster) plus a per-group geometric-mean summary. The report
-is advisory except for benchmarks matching ``--fail-regression`` (default
-``discrete-rv/*``): if any of those regressed by more than ``--threshold``
-percent (default 25), the script exits non-zero.
+is advisory except for benchmarks matching ``--fail-regression`` — a
+comma-separated glob list, default ``discrete-rv/*,mc-engine/*,
+makespan-evaluators/mc-*``: if any of those regressed by more than
+``--threshold`` percent (default 25), the script exits non-zero.
 
 Both files must come from the same machine for the comparison to mean
 anything; the script warns when the recorded environments differ.
@@ -34,8 +35,8 @@ def main():
     ap.add_argument("current")
     ap.add_argument(
         "--fail-regression",
-        default="discrete-rv/*",
-        help="glob of benchmark names whose regression fails the check",
+        default="discrete-rv/*,mc-engine/*,makespan-evaluators/mc-*",
+        help="comma-separated globs of benchmark names whose regression fails the check",
     )
     ap.add_argument(
         "--threshold",
@@ -74,7 +75,12 @@ def main():
         print(f"{name:<{width}}  {b:>10.0f}ns  {c:>10.0f}ns  {delta:>+7.1f}%")
         group = name.split("/")[0]
         groups.setdefault(group, []).append(c / b)
-        if fnmatch.fnmatch(name, args.fail_regression) and delta > args.threshold:
+        guarded = any(
+            fnmatch.fnmatch(name, pat.strip())
+            for pat in args.fail_regression.split(",")
+            if pat.strip()
+        )
+        if guarded and delta > args.threshold:
             failures.append((name, delta))
 
     print()

@@ -37,7 +37,17 @@ fn evaluator_registry_round_trips() {
         .iter()
         .map(|e| e.name().into())
         .collect();
-    assert_eq!(names, ["classic", "spelde", "dodin", "montecarlo"]);
+    assert_eq!(
+        names,
+        [
+            "classic",
+            "spelde",
+            "dodin",
+            "montecarlo",
+            "mc-anti",
+            "mc-strat"
+        ]
+    );
     for n in &names {
         assert_eq!(stochastic::evaluator_by_name(n).unwrap().name(), n);
     }

@@ -20,6 +20,7 @@ fn mc_mean_std(scenario: &Scenario, sched: &Schedule, n: usize) -> (f64, f64) {
             realizations: n,
             seed: 77,
             threads: None,
+            ..Default::default()
         },
     );
     let m = xs.iter().sum::<f64>() / xs.len() as f64;
@@ -118,6 +119,7 @@ fn classic_tracks_mc_cdf_closely_on_small_graphs() {
             realizations: 50_000,
             seed: 5,
             threads: None,
+            ..Default::default()
         },
     );
     let rep = accuracy::compare(&analytic, &samples);

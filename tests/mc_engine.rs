@@ -1,0 +1,246 @@
+//! Integration suite for the batched Monte-Carlo engine: the sampling-table
+//! equivalence, the scalar-vs-SoA contract, thread-count determinism of all
+//! three estimators, and the antithetic closed-form invariant.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use robusched::platform::{CostMatrix, Platform, Scenario, UncertaintyKind, UncertaintyModel};
+use robusched::randvar::{derive_seed, Dist};
+use robusched::sched::{random_schedule, EagerPlan};
+use robusched::stochastic::montecarlo::{BLOCK, CHUNK};
+use robusched::stochastic::{
+    mc_makespans, mc_makespans_prepared, McConfig, McEstimator, SamplingTables,
+};
+use robusched_dag::generators;
+
+/// The shared sampling table must agree with the direct (root-found)
+/// quantile of the base shape to 1e-9 across the practical probability
+/// range — the tentpole equivalence pin, exercised through the same
+/// `SamplingTables` the engine uses.
+#[test]
+fn sampling_table_matches_direct_quantile() {
+    let scenario = Scenario::paper_random(10, 3, 1.1, 5);
+    let tables = SamplingTables::new(&scenario);
+    let table = tables.base().expect("stochastic scenario");
+    let shape = scenario.uncertainty.base_shape().unwrap();
+    let mut worst = 0.0f64;
+    for i in 0..=4000 {
+        let u = 0.001 + 0.998 * i as f64 / 4000.0;
+        worst = worst.max((table.quantile(u) - shape.quantile(u)).abs());
+    }
+    // Tails, geometrically spaced down to 1e-9 from both ends.
+    for k in 1..=27 {
+        let d = 10f64.powf(-9.0 + 8.0 * (k - 1) as f64 / 26.0);
+        for u in [d, 1.0 - d] {
+            worst = worst.max((table.quantile(u) - shape.quantile(u)).abs());
+        }
+    }
+    assert!(worst <= 1e-9, "table-vs-direct quantile error {worst:e}");
+}
+
+/// Reimplements the engine's documented draw contract scalar-style — chunk
+/// RNGs from `derive_seed(seed, chunk)`, slot-major block fills in the
+/// plan's topological order (incoming edges before their task, zero-span
+/// slots skipped) — and replays each realization individually through
+/// `EagerPlan::execute`. The batched engine must reproduce it bit for bit.
+#[test]
+fn scalar_reference_matches_soa_engine_bitwise() {
+    let scenario = Scenario::paper_random(14, 4, 1.2, 9);
+    let schedule = random_schedule(&scenario.graph.dag, 4, 33);
+    let seed = 0xFEED;
+    // Covers a full chunk, a partial chunk and a partial block.
+    let realizations = CHUNK + 2 * BLOCK + 77;
+
+    let engine = mc_makespans(
+        &scenario,
+        &schedule,
+        &McConfig {
+            realizations,
+            seed,
+            threads: Some(1),
+            estimator: McEstimator::Standard,
+        },
+    );
+
+    // ---- Scalar reference. ----
+    let dag = &scenario.graph.dag;
+    let n = scenario.task_count();
+    let plan = EagerPlan::new(dag, &schedule).unwrap();
+    let tables = SamplingTables::new(&scenario);
+    let table = tables.base().unwrap();
+    let ul = scenario.uncertainty.ul;
+    // (row, lo, span) in canonical draw order; row < n is a task, else an
+    // edge at row − n.
+    let mut program: Vec<(usize, f64, f64)> = Vec::new();
+    let mut task_lo = vec![0.0f64; n];
+    let mut edge_lo = vec![0.0f64; dag.edge_count()];
+    for (v, lo) in task_lo.iter_mut().enumerate() {
+        *lo = scenario.det_task_cost(v, schedule.machine_of(v));
+    }
+    for (u, v, e) in dag.edge_triples() {
+        edge_lo[e] = scenario.det_comm_cost(e, schedule.machine_of(u), schedule.machine_of(v));
+    }
+    for &v in plan.topo_order() {
+        for &(_, e) in dag.preds(v) {
+            let span = (ul - 1.0) * edge_lo[e];
+            if span > 0.0 {
+                program.push((n + e, edge_lo[e], span));
+            }
+        }
+        let span = (scenario.task_ul(v) - 1.0) * task_lo[v];
+        if span > 0.0 {
+            program.push((v, task_lo[v], span));
+        }
+    }
+
+    let mut reference = Vec::with_capacity(realizations);
+    let mut durations = vec![0.0f64; (n + dag.edge_count()) * BLOCK];
+    for (row, &lo) in task_lo.iter().chain(edge_lo.iter()).enumerate() {
+        durations[row * BLOCK..(row + 1) * BLOCK].fill(lo);
+    }
+    let mut start = 0usize;
+    while start < realizations {
+        let chunk_len = CHUNK.min(realizations - start);
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, (start / CHUNK) as u64));
+        let mut block_start = 0usize;
+        while block_start < chunk_len {
+            let lanes = BLOCK.min(chunk_len - block_start);
+            for &(row, lo, span) in &program {
+                for r in 0..lanes {
+                    let bits = rng.next_u64() >> 11;
+                    durations[row * BLOCK + r] = lo + span * table.quantile_u53(bits);
+                }
+            }
+            for r in 0..lanes {
+                let exec = plan.execute(
+                    dag,
+                    |v| durations[v * BLOCK + r],
+                    |e, _, _| durations[(n + e) * BLOCK + r],
+                );
+                reference.push(exec.makespan);
+            }
+            block_start += lanes;
+        }
+        start += chunk_len;
+    }
+
+    assert_eq!(engine.len(), reference.len());
+    for (i, (a, b)) in engine.iter().zip(reference.iter()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "realization {i}: {a} vs {b}");
+    }
+}
+
+/// Every estimator must produce a bit-identical stream for any worker
+/// count — the fixed-chunk seeding contract.
+#[test]
+fn all_estimators_deterministic_across_1_2_4_threads() {
+    let scenario = Scenario::paper_random(12, 3, 1.1, 21);
+    let schedule = random_schedule(&scenario.graph.dag, 3, 7);
+    let tables = SamplingTables::new(&scenario);
+    for estimator in [
+        McEstimator::Standard,
+        McEstimator::Antithetic,
+        McEstimator::Stratified,
+    ] {
+        let run = |threads: usize| {
+            mc_makespans_prepared(
+                &scenario,
+                &schedule,
+                &McConfig {
+                    realizations: 3 * CHUNK / 2,
+                    seed: 4242,
+                    threads: Some(threads),
+                    estimator,
+                },
+                &tables,
+            )
+        };
+        let one = run(1);
+        for threads in [2, 4] {
+            let multi = run(threads);
+            assert_eq!(
+                one, multi,
+                "{estimator:?}: stream changed at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Antithetic mean preservation on a closed-form case: with the *uniform*
+/// uncertainty family, `Q(u) + Q(1−u) = 1` up to table rounding, so on a
+/// single-machine chain every antithetic pair's average makespan equals the
+/// exact expected makespan — not just in the limit, but pair by pair.
+#[test]
+fn antithetic_pairs_preserve_the_mean_exactly_on_uniform_chain() {
+    let tasks = 5;
+    let tg = generators::chain(tasks);
+    let costs = CostMatrix::from_rows(tasks, 1, vec![10.0, 20.0, 5.0, 12.5, 8.0]);
+    let scenario = Scenario::new(
+        tg,
+        Platform::paper_default(1),
+        costs,
+        UncertaintyModel {
+            ul: 1.5,
+            kind: UncertaintyKind::Uniform,
+        },
+    );
+    let schedule = robusched::sched::Schedule::new(vec![0; tasks], vec![(0..tasks).collect()]);
+    // Exact mean: Σ (w + (UL−1)·w/2) — uniform midpoint per task.
+    let exact: f64 = [10.0, 20.0, 5.0, 12.5, 8.0]
+        .iter()
+        .map(|w| w + 0.25 * w)
+        .sum();
+    let ms = mc_makespans(
+        &scenario,
+        &schedule,
+        &McConfig {
+            realizations: 2 * BLOCK,
+            seed: 77,
+            threads: Some(1),
+            estimator: McEstimator::Antithetic,
+        },
+    );
+    for pair in ms.chunks(2) {
+        let avg = 0.5 * (pair[0] + pair[1]);
+        assert!(
+            (avg - exact).abs() < 1e-9 * exact,
+            "pair average {avg} vs exact {exact}"
+        );
+    }
+    // And therefore the whole estimate is exact too.
+    let mean = ms.iter().sum::<f64>() / ms.len() as f64;
+    assert!((mean - exact).abs() < 1e-9 * exact);
+}
+
+/// The estimators are all unbiased: on a moderate budget their means agree
+/// with each other within Monte-Carlo noise, and the variance-reduced
+/// streams genuinely differ from the plain one (they are different
+/// estimators, not aliases).
+#[test]
+fn estimators_agree_on_the_mean_but_differ_in_stream() {
+    let scenario = Scenario::paper_random(12, 3, 1.1, 5);
+    let schedule = random_schedule(&scenario.graph.dag, 3, 11);
+    let tables = SamplingTables::new(&scenario);
+    let run = |estimator: McEstimator| {
+        mc_makespans_prepared(
+            &scenario,
+            &schedule,
+            &McConfig {
+                realizations: 20_000,
+                seed: 9,
+                threads: Some(2),
+                estimator,
+            },
+            &tables,
+        )
+    };
+    let plain = run(McEstimator::Standard);
+    let anti = run(McEstimator::Antithetic);
+    let strat = run(McEstimator::Stratified);
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let m0 = mean(&plain);
+    assert!((mean(&anti) - m0).abs() / m0 < 0.01, "antithetic mean off");
+    assert!((mean(&strat) - m0).abs() / m0 < 0.01, "stratified mean off");
+    assert_ne!(plain, anti);
+    assert_ne!(plain, strat);
+}
