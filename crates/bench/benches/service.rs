@@ -1,0 +1,143 @@
+//! `EvalService` benchmarks: the `eval-service/*` groups.
+//!
+//! The contract under test (DESIGN.md §11): a *cold* request pays scenario
+//! preparation; a request whose scenario is cached pays only the
+//! evaluation (`prepared-hit`); an exact repeat of a finished request pays
+//! only a cache lookup (`result-hit`, expected ≥ 5× below cold — the PR's
+//! acceptance bar); and a mixed stream over warm scenarios sustains the
+//! `throughput-256` batch figure. `scripts/bench_diff.py` gates
+//! regressions on all four.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use robusched_bench::bench_scenario;
+use robusched_core::{EvalRequest, EvalService, ServiceConfig};
+use robusched_platform::Scenario;
+use robusched_sched::{random_schedule, Schedule};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn scenario_pool(count: usize) -> Vec<Arc<Scenario>> {
+    (0..count)
+        .map(|i| {
+            if i == 0 {
+                Arc::new(bench_scenario())
+            } else {
+                Arc::new(Scenario::paper_random(30, 8, 1.1, 0xBEEF + i as u64))
+            }
+        })
+        .collect()
+}
+
+fn schedule_pool(s: &Scenario, count: usize) -> Vec<Schedule> {
+    (0..count)
+        .map(|k| random_schedule(&s.graph.dag, s.machine_count(), k as u64))
+        .collect()
+}
+
+fn service_requests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval-service");
+    let scenarios = scenario_pool(1);
+    let s = scenarios[0].clone();
+    let schedules = schedule_pool(&s, 512);
+
+    // Cold: a fresh service per iteration — every request prepares its
+    // scenario from scratch (the latency the caches are built to remove).
+    g.bench_function("cold-request", |b| {
+        b.iter_batched(
+            || {
+                EvalService::new(ServiceConfig {
+                    workers: Some(1),
+                    ..Default::default()
+                })
+            },
+            |service| {
+                let req = EvalRequest::new(s.clone(), schedules[0].clone(), "classic");
+                black_box(service.evaluate(req).unwrap())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Prepared hit: one long-lived service, a rotating schedule so the
+    // result cache never matches (explicitly disabled) but the prepared
+    // scenario always does.
+    {
+        let service = EvalService::new(ServiceConfig {
+            workers: Some(1),
+            result_capacity: 0,
+            ..Default::default()
+        });
+        let warmup = EvalRequest::new(s.clone(), schedules[0].clone(), "classic");
+        service.evaluate(warmup).unwrap();
+        let mut k = 0usize;
+        g.bench_function("prepared-hit", |b| {
+            b.iter(|| {
+                k = (k + 1) % schedules.len();
+                let req = EvalRequest::new(s.clone(), schedules[k].clone(), "classic");
+                black_box(service.evaluate(req).unwrap())
+            })
+        });
+    }
+
+    // Result hit: the exact same request over and over — after the first
+    // evaluation every response comes from the result cache.
+    {
+        let service = EvalService::new(ServiceConfig {
+            workers: Some(1),
+            ..Default::default()
+        });
+        let req = EvalRequest::new(s.clone(), schedules[0].clone(), "classic");
+        service.evaluate(req.clone()).unwrap();
+        g.bench_function("result-hit", |b| {
+            b.iter(|| black_box(service.evaluate(req.clone()).unwrap()))
+        });
+    }
+
+    g.finish();
+}
+
+fn service_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval-service");
+    let scenarios = scenario_pool(4);
+    let schedules: Vec<Vec<Schedule>> = scenarios.iter().map(|s| schedule_pool(s, 64)).collect();
+    let evaluators = ["classic", "spelde", "dodin"];
+
+    // Sustained mixed stream: 256 submissions over 4 warm scenarios and 3
+    // evaluators, drained through the in-order response stream. One
+    // iteration = one 256-request burst.
+    let service = EvalService::new(ServiceConfig {
+        workers: Some(2),
+        result_capacity: 0,
+        ..Default::default()
+    });
+    for (si, s) in scenarios.iter().enumerate() {
+        for ev in evaluators {
+            service
+                .evaluate(EvalRequest::new(s.clone(), schedules[si][0].clone(), ev))
+                .unwrap();
+        }
+    }
+    let mut round = 0usize;
+    g.bench_function("throughput-256", |b| {
+        b.iter(|| {
+            round += 1;
+            for i in 0..256usize {
+                let si = i % scenarios.len();
+                let k = (round * 61 + i / scenarios.len()) % schedules[si].len();
+                let ev = evaluators[i % evaluators.len()];
+                service.submit(EvalRequest::new(
+                    scenarios[si].clone(),
+                    schedules[si][k].clone(),
+                    ev,
+                ));
+            }
+            for _ in 0..256 {
+                black_box(service.next_response().1.unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, service_requests, service_throughput);
+criterion_main!(benches);

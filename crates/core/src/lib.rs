@@ -33,6 +33,7 @@
 
 pub mod metrics;
 pub mod optimize;
+pub mod service;
 pub mod streaming;
 pub mod study;
 
@@ -41,6 +42,10 @@ pub use metrics::{
     MetricValues, METRIC_LABELS,
 };
 pub use optimize::{pareto_search, ParetoPoint, SearchConfig};
+pub use service::{
+    EvalOutcome, EvalRequest, EvalResult, EvalService, ServiceConfig, ServiceError, ServiceStats,
+    Ticket,
+};
 pub use streaming::{RankReservoir, StreamingMoments};
 #[allow(deprecated)]
 pub use study::run_case;

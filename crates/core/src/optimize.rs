@@ -172,7 +172,7 @@ pub fn pareto_search(scenario: &Scenario, cfg: &SearchConfig) -> Vec<ParetoPoint
         let rv = evaluate_classic(scenario, &sched);
         archive_insert(&mut exact, rv.mean(), rv.std_dev(), &sched);
     }
-    exact.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    exact.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Thin near-identical neighbors (within 1e-5 relative in both
     // objectives) — they are distinct schedules but indistinguishable
     // trade-offs.

@@ -37,8 +37,21 @@ use robusched_sched::{heuristic_by_name, random_schedule, Heuristic, ScheduleErr
 use robusched_stats::CorrMatrix;
 use robusched_stochastic::{ClassicEvaluator, EvalContext, Evaluator};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`) as
+/// text: `&str` and `String` payloads verbatim, anything else opaquely.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Study configuration for one case (the legacy [`run_case`] surface;
 /// [`StudyBuilder`] is the pluggable superset).
@@ -100,6 +113,11 @@ pub enum StudyError {
     UnknownEvaluator(String),
     /// A heuristic rejected the scenario.
     Schedule(ScheduleError),
+    /// A worker thread panicked mid-study (e.g. an evaluator hit a
+    /// numerically impossible state). Carries the first panic's payload
+    /// rendered as text; sibling workers drain without a secondary
+    /// `PoisonError` masking it.
+    WorkerPanic(String),
 }
 
 impl std::fmt::Display for StudyError {
@@ -113,6 +131,7 @@ impl std::fmt::Display for StudyError {
             Self::UnknownHeuristic(n) => write!(f, "unknown heuristic '{n}'"),
             Self::UnknownEvaluator(n) => write!(f, "unknown evaluator '{n}'"),
             Self::Schedule(e) => write!(f, "heuristic produced an invalid schedule: {e}"),
+            Self::WorkerPanic(msg) => write!(f, "study worker panicked: {msg}"),
         }
     }
 }
@@ -366,9 +385,11 @@ impl<'a> StudyBuilder<'a> {
                 .then(|| Vec::with_capacity(self.random_schedules)),
             sink: self.sink,
         };
+        let first_panic = Mutex::new(None::<String>);
         {
             let n_chunks = self.random_schedules.div_ceil(CHUNK);
             let next_chunk = AtomicUsize::new(0);
+            let abort = AtomicBool::new(false);
             let delivery = Mutex::new(&mut delivery);
             let threads = self
                 .threads
@@ -386,28 +407,59 @@ impl<'a> StudyBuilder<'a> {
                         // schedule and are reused for every one after.
                         let mut cx = EvalContext::new(prep.clone());
                         loop {
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
                             let c = next_chunk.fetch_add(1, Ordering::Relaxed);
                             if c >= n_chunks {
                                 break;
                             }
                             let lo = c * CHUNK;
                             let hi = (lo + CHUNK).min(self.random_schedules);
-                            let rows: Vec<MetricValues> = (lo..hi)
-                                .map(|idx| {
-                                    let sched = random_schedule(
-                                        &scenario.graph.dag,
-                                        m,
-                                        derive_seed(self.seed, idx as u64),
-                                    );
-                                    eval_one(&mut cx, &sched)
-                                })
-                                .collect();
-                            delivery.lock().unwrap().deliver(c, lo, rows);
+                            // A panic anywhere in the chunk (evaluator, metric
+                            // computation, accumulator delivery) must not
+                            // unwind through the scope: the first one is
+                            // captured as a `StudyError`, siblings drain via
+                            // the abort flag, and the delivery lock stays
+                            // usable even if it was poisoned mid-`deliver`.
+                            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                let rows: Vec<MetricValues> = (lo..hi)
+                                    .map(|idx| {
+                                        let sched = random_schedule(
+                                            &scenario.graph.dag,
+                                            m,
+                                            derive_seed(self.seed, idx as u64),
+                                        );
+                                        eval_one(&mut cx, &sched)
+                                    })
+                                    .collect();
+                                delivery
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                    .deliver(c, lo, rows);
+                            }));
+                            if let Err(payload) = outcome {
+                                abort.store(true, Ordering::Relaxed);
+                                let mut slot = first_panic
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                if slot.is_none() {
+                                    *slot = Some(panic_message(payload.as_ref()));
+                                }
+                                break;
+                            }
                         }
                     });
                 }
             })
-            .expect("study worker panicked");
+            .expect("study workers no longer unwind");
+        }
+        if let Some(msg) = first_panic
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            return Err(StudyError::WorkerPanic(msg));
         }
         debug_assert!(delivery.pending.is_empty());
         debug_assert_eq!(delivery.moments.count(), self.random_schedules);
@@ -577,7 +629,7 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         let median_random = {
             let mut v: Vec<f64> = res.random.iter().map(|m| m.expected_makespan).collect();
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(f64::total_cmp);
             v[v.len() / 2]
         };
         for (name, m) in &res.heuristics {
@@ -780,6 +832,48 @@ mod tests {
                 .unwrap_err(),
             StudyError::UnknownEvaluator("exact".into())
         );
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_study_error() {
+        use robusched_randvar::DiscreteRv;
+        use robusched_sched::Schedule;
+
+        /// Panics on every evaluation — drives the first-panic capture
+        /// path without a NaN or a poisoned lock in sight.
+        struct PanickingEvaluator;
+        impl Evaluator for PanickingEvaluator {
+            fn name(&self) -> &str {
+                "panicker"
+            }
+            fn evaluate_with(
+                &self,
+                _scenario: &Scenario,
+                _schedule: &Schedule,
+                _cx: &mut EvalContext,
+            ) -> DiscreteRv {
+                panic!("injected failure");
+            }
+        }
+
+        let scenario = Scenario::paper_random(10, 3, 1.1, 5);
+        // Silence the default panic hook for the duration: every worker
+        // thread would otherwise print a backtrace banner.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = StudyBuilder::new(&scenario)
+            .random_schedules(300)
+            .threads(4)
+            .evaluator(Box::new(PanickingEvaluator))
+            .run()
+            .unwrap_err();
+        std::panic::set_hook(hook);
+        match err {
+            StudyError::WorkerPanic(msg) => {
+                assert!(msg.contains("injected failure"), "message was: {msg}")
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Pareto> {
         let es: Vec<f64> = rows.iter().map(|r| r.0).collect();
         let ss: Vec<f64> = rows.iter().map(|r| r.1).collect();
         full.push(pearson(&es, &ss));
-        rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        rows.sort_by(|a, b| a.0.total_cmp(&b.0));
         let decile = &rows[..rows.len() / 10];
         let es: Vec<f64> = decile.iter().map(|r| r.0).collect();
         let ss: Vec<f64> = decile.iter().map(|r| r.1).collect();

@@ -64,7 +64,7 @@ mod tests {
         };
         let res = run(&opts).unwrap();
         let mut sorted: Vec<f64> = res.random.iter().map(|m| m.expected_makespan).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let q10 = sorted[sorted.len() / 10];
         for (name, m) in &res.heuristics {
             assert!(

@@ -28,6 +28,7 @@ pub mod ext;
 pub mod figs;
 pub mod registry;
 pub mod report;
+pub mod serve;
 
 pub use registry::{experiment_by_name, registry, render_list, Experiment, ExperimentGroup};
 

@@ -32,6 +32,9 @@ pub enum ExperimentGroup {
     Figure,
     /// An extension study beyond the paper (`ext-all`).
     Extension,
+    /// An evaluation-serving entry point (`serve`, `serve-load`); excluded
+    /// from both umbrella commands because `serve` blocks on stdin.
+    Service,
 }
 
 /// A registry row: static metadata plus the run function.
@@ -71,7 +74,7 @@ fn run_fig6(opts: &RunOptions) -> std::io::Result<String> {
     Ok(figs::fig6::render(&f))
 }
 
-static REGISTRY: [ExperimentEntry; 17] = [
+static REGISTRY: [ExperimentEntry; 19] = [
     ExperimentEntry {
         name: "fig1",
         about: "KS/CM accuracy of the independence assumption vs graph size",
@@ -175,6 +178,18 @@ static REGISTRY: [ExperimentEntry; 17] = [
         group: ExperimentGroup::Extension,
         run: |o| Ok(ext::mc_convergence::render(&ext::mc_convergence::run(o)?)),
     },
+    ExperimentEntry {
+        name: "serve",
+        about: "line-delimited JSON evaluation server over stdin/stdout (EvalService)",
+        group: ExperimentGroup::Service,
+        run: crate::serve::run_serve,
+    },
+    ExperimentEntry {
+        name: "serve-load",
+        about: "self-driving EvalService load generator (req/s, cache hit rates)",
+        group: ExperimentGroup::Service,
+        run: crate::serve::run_load,
+    },
 ];
 
 /// All registered experiments, figures first, in run order.
@@ -193,10 +208,15 @@ pub fn experiment_by_name(name: &str) -> Option<&'static dyn Experiment> {
 /// The `list` subcommand's table.
 pub fn render_list() -> String {
     let mut out = String::from("Registered experiments (run with: robusched-experiments <name>)\n");
-    for group in [ExperimentGroup::Figure, ExperimentGroup::Extension] {
+    for group in [
+        ExperimentGroup::Figure,
+        ExperimentGroup::Extension,
+        ExperimentGroup::Service,
+    ] {
         out.push_str(match group {
             ExperimentGroup::Figure => "\npaper figures (umbrella: all)\n",
             ExperimentGroup::Extension => "\nextensions (umbrella: ext-all)\n",
+            ExperimentGroup::Service => "\nevaluation serving (not part of all/ext-all)\n",
         });
         for e in REGISTRY.iter().filter(|e| e.group == group) {
             out.push_str(&format!("  {:<13} {}\n", e.name, e.about));
@@ -212,10 +232,10 @@ mod tests {
     #[test]
     fn every_entry_resolvable_and_unique() {
         let mut names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 17);
+        assert_eq!(names.len(), 19);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 17, "duplicate experiment names");
+        assert_eq!(names.len(), 19, "duplicate experiment names");
         for e in registry() {
             let found = experiment_by_name(e.name()).expect("resolvable");
             assert_eq!(found.name(), e.name());
@@ -234,8 +254,13 @@ mod tests {
             .iter()
             .filter(|e| e.group() == ExperimentGroup::Extension)
             .count();
+        let service = registry()
+            .iter()
+            .filter(|e| e.group() == ExperimentGroup::Service)
+            .count();
         assert_eq!(figures, 9);
         assert_eq!(extensions, 8);
+        assert_eq!(service, 2);
     }
 
     #[test]

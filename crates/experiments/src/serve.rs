@@ -1,0 +1,822 @@
+//! The `serve` and `serve-load` registry entries: the protocol front end of
+//! [`robusched_core::EvalService`].
+//!
+//! `serve` turns the binary into a long-running evaluation server speaking
+//! line-delimited JSON over stdin/stdout — one request object per line, one
+//! response object per line, responses strictly in request order (the
+//! service's reorder-buffer discipline carries through to the wire).
+//! There is no `serde` in this workspace, so the protocol uses a small
+//! hand-rolled recursive-descent JSON parser ([`Json`]).
+//!
+//! Request shape (`id` is echoed verbatim; `metrics` optionally filters
+//! which fields the response carries):
+//!
+//! ```json
+//! {"id": 1,
+//!  "scenario": {"family": "paper-random", "n": 30, "m": 8, "ul": 1.1, "seed": 7},
+//!  "schedule": {"kind": "heuristic", "name": "heft"},
+//!  "evaluator": "classic",
+//!  "metrics": ["expected_makespan", "makespan_std"]}
+//! ```
+//!
+//! Scenario families: `paper-random` (the paper's layered random DAGs) and
+//! `app` (structured applications: `"class"` ∈ cholesky, lu, fft, stencil,
+//! forkjoin, plus `"speed_cov"`). Schedules: `{"kind": "heuristic",
+//! "name": ...}` (any [`robusched_sched::heuristic_by_name`] entry) or
+//! `{"kind": "random", "seed": N}`. The front end interns scenarios by
+//! their canonical spec, so repeated specs share one [`Scenario`] `Arc`
+//! and the service's fingerprint caches do the rest.
+//!
+//! Responses: `{"id": ..., "ok": true, "cache_hit": bool, "scenario_hit":
+//! bool, "metrics": {...}}` on success, `{"id": ..., "ok": false,
+//! "error": "..."}` on evaluation or parse errors. Malformed lines get an
+//! error response in-stream — the server never dies on bad input.
+//!
+//! `serve-load` is the self-driving twin: it generates a deterministic
+//! request mix against the same service (no I/O on the hot path), measures
+//! cold-preparation, warm-cache and steady-state throughput, and writes
+//! `serve_load.csv`.
+
+use crate::RunOptions;
+use robusched_core::{EvalRequest, EvalService, MetricValues, ServiceConfig};
+use robusched_dag::AppClass;
+use robusched_platform::Scenario;
+use robusched_sched::{heuristic_by_name, random_schedule, Schedule};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Objects preserve key order (no hashing needed at
+/// protocol sizes); numbers are always `f64`, as in JavaScript.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_usize(&self) -> Option<usize> {
+        let v = self.as_f64()?;
+        (v.fract() == 0.0 && v >= 0.0 && v <= u32::MAX as f64).then_some(v as usize)
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        let v = self.as_f64()?;
+        (v.fract() == 0.0 && (0.0..=9.007_199_254_740_992e15).contains(&v)).then_some(v as u64)
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected).
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err("object keys must be strings".into()),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') => parse_keyword(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))
+                            .map_err(str::to_string)?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        // Surrogate pairs are out of scope for this protocol;
+                        // map unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("invalid escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy the full UTF-8 scalar starting here.
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid UTF-8".to_string())?;
+                let ch = s.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| v.is_finite())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+/// Serializes a value back to compact JSON (non-finite numbers → `null`).
+pub fn write_json(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        Json::Num(v) => push_number(*v, out),
+        Json::Str(s) => push_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_string(k, out);
+                out.push(':');
+                write_json(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn push_number(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Request decoding
+// ---------------------------------------------------------------------------
+
+/// The response's metric field names, in [`MetricValues`] declaration
+/// order.
+pub const METRIC_FIELDS: [&str; 10] = [
+    "expected_makespan",
+    "makespan_std",
+    "makespan_entropy",
+    "avg_slack",
+    "slack_std",
+    "avg_lateness",
+    "prob_absolute",
+    "prob_relative",
+    "late_fraction",
+    "total_slack",
+];
+
+fn metric_field(metrics: &MetricValues, name: &str) -> Option<f64> {
+    Some(match name {
+        "expected_makespan" => metrics.expected_makespan,
+        "makespan_std" => metrics.makespan_std,
+        "makespan_entropy" => metrics.makespan_entropy,
+        "avg_slack" => metrics.avg_slack,
+        "slack_std" => metrics.slack_std,
+        "avg_lateness" => metrics.avg_lateness,
+        "prob_absolute" => metrics.prob_absolute,
+        "prob_relative" => metrics.prob_relative,
+        "late_fraction" => metrics.late_fraction,
+        "total_slack" => metrics.total_slack,
+        _ => return None,
+    })
+}
+
+/// Interns scenarios by their canonical spec so repeated requests share
+/// one `Arc<Scenario>` (and one fingerprint-cache entry downstream).
+#[derive(Default)]
+struct ScenarioInterner {
+    by_spec: HashMap<String, Arc<Scenario>>,
+}
+
+impl ScenarioInterner {
+    fn resolve(&mut self, spec: &Json) -> Result<Arc<Scenario>, String> {
+        let family = spec
+            .get("family")
+            .and_then(Json::as_str)
+            .ok_or("scenario.family must be a string")?;
+        let m = spec
+            .get("m")
+            .and_then(Json::as_usize)
+            .filter(|&m| m >= 1)
+            .ok_or("scenario.m must be a positive integer")?;
+        let ul = spec
+            .get("ul")
+            .and_then(Json::as_f64)
+            .filter(|ul| *ul >= 1.0)
+            .ok_or("scenario.ul must be a number >= 1")?;
+        let seed = spec
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("scenario.seed must be a non-negative integer")?;
+        let n = spec
+            .get("n")
+            .and_then(Json::as_usize)
+            .filter(|&n| n >= 1)
+            .ok_or("scenario.n must be a positive integer")?;
+        let key;
+        let build: Box<dyn FnOnce() -> Scenario> = match family {
+            "paper-random" => {
+                key = format!("paper-random/{n}/{m}/{}/{seed}", ul.to_bits());
+                Box::new(move || Scenario::paper_random(n, m, ul, seed))
+            }
+            "app" => {
+                let class_name = spec
+                    .get("class")
+                    .and_then(Json::as_str)
+                    .ok_or("scenario.class must be a string")?;
+                let class = AppClass::ALL
+                    .into_iter()
+                    .find(|c| c.name() == class_name)
+                    .ok_or_else(|| format!("unknown application class '{class_name}'"))?;
+                let speed_cov = spec
+                    .get("speed_cov")
+                    .and_then(Json::as_f64)
+                    .filter(|v| (0.0..10.0).contains(v))
+                    .ok_or("scenario.speed_cov must be a number in [0, 10)")?;
+                key = format!(
+                    "app/{}/{n}/{m}/{}/{}/{seed}",
+                    class.name(),
+                    speed_cov.to_bits(),
+                    ul.to_bits()
+                );
+                Box::new(move || {
+                    Scenario::structured_app(class.generate(n, seed), m, speed_cov, ul, seed)
+                })
+            }
+            other => return Err(format!("unknown scenario family '{other}'")),
+        };
+        Ok(self
+            .by_spec
+            .entry(key)
+            .or_insert_with(|| Arc::new(build()))
+            .clone())
+    }
+}
+
+fn resolve_schedule(spec: &Json, scenario: &Scenario) -> Result<Schedule, String> {
+    let kind = spec
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("schedule.kind must be a string")?;
+    match kind {
+        "heuristic" => {
+            let name = spec
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("schedule.name must be a string")?;
+            let h = heuristic_by_name(name).ok_or_else(|| format!("unknown heuristic '{name}'"))?;
+            h.schedule(scenario)
+                .map_err(|e| format!("heuristic '{name}' failed: {e}"))
+        }
+        "random" => {
+            let seed = spec
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("schedule.seed must be a non-negative integer")?;
+            Ok(random_schedule(
+                &scenario.graph.dag,
+                scenario.machine_count(),
+                seed,
+            ))
+        }
+        other => Err(format!("unknown schedule kind '{other}'")),
+    }
+}
+
+/// A decoded request: the service request plus an optional response-field
+/// filter, or a protocol error to echo back.
+type DecodedRequest = Result<(EvalRequest, Option<Vec<String>>), String>;
+
+/// Decodes one request line into the service request plus its echoed id
+/// and metric filter. Pure — no service interaction.
+fn decode_request(line: &str, interner: &mut ScenarioInterner) -> (Json, DecodedRequest) {
+    let doc = match parse_json(line) {
+        Ok(doc) => doc,
+        Err(e) => return (Json::Null, Err(format!("invalid JSON: {e}"))),
+    };
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    let inner = (|| {
+        let scenario_spec = doc.get("scenario").ok_or("missing 'scenario'")?;
+        let scenario = interner.resolve(scenario_spec)?;
+        let schedule_spec = doc.get("schedule").ok_or("missing 'schedule'")?;
+        let schedule = resolve_schedule(schedule_spec, &scenario)?;
+        let evaluator = doc
+            .get("evaluator")
+            .and_then(Json::as_str)
+            .unwrap_or("classic")
+            .to_string();
+        let filter = match doc.get("metrics") {
+            None => None,
+            Some(Json::Arr(items)) => {
+                let mut names = Vec::with_capacity(items.len());
+                for item in items {
+                    let name = item
+                        .as_str()
+                        .ok_or("'metrics' must be an array of strings")?;
+                    if !METRIC_FIELDS.contains(&name) {
+                        return Err(format!("unknown metric '{name}'"));
+                    }
+                    names.push(name.to_string());
+                }
+                Some(names)
+            }
+            Some(_) => return Err("'metrics' must be an array of strings".to_string()),
+        };
+        Ok((EvalRequest::new(scenario, schedule, &evaluator), filter))
+    })();
+    (id, inner.map_err(|e: String| e))
+}
+
+fn render_response(
+    id: &Json,
+    result: &Result<(MetricValues, bool, bool), String>,
+    filter: Option<&[String]>,
+) -> String {
+    let mut fields = vec![("id".to_string(), id.clone())];
+    match result {
+        Ok((metrics, result_hit, scenario_hit)) => {
+            fields.push(("ok".into(), Json::Bool(true)));
+            fields.push(("cache_hit".into(), Json::Bool(*result_hit)));
+            fields.push(("scenario_hit".into(), Json::Bool(*scenario_hit)));
+            let names: Vec<&str> = match filter {
+                Some(names) => names.iter().map(String::as_str).collect(),
+                None => METRIC_FIELDS.to_vec(),
+            };
+            let values = names
+                .iter()
+                .map(|&n| {
+                    (
+                        n.to_string(),
+                        Json::Num(metric_field(metrics, n).expect("validated metric name")),
+                    )
+                })
+                .collect();
+            fields.push(("metrics".into(), Json::Obj(values)));
+        }
+        Err(e) => {
+            fields.push(("ok".into(), Json::Bool(false)));
+            fields.push(("error".into(), Json::Str(e.clone())));
+        }
+    }
+    let mut out = String::new();
+    write_json(&Json::Obj(fields), &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// serve: stdin/stdout protocol loop
+// ---------------------------------------------------------------------------
+
+/// One queue entry from reader to writer: the echoed id, the metric
+/// filter, and either a service ticket or an immediate error.
+type WireEntry = (
+    Json,
+    Option<Vec<String>>,
+    Result<robusched_core::Ticket, String>,
+);
+
+/// Runs the protocol loop over arbitrary reader/writer (unit-testable);
+/// returns the rendered summary.
+pub fn serve_streams<R: BufRead, W: Write + Send>(
+    input: R,
+    output: W,
+    opts: &RunOptions,
+) -> std::io::Result<String> {
+    let service = EvalService::new(ServiceConfig {
+        workers: opts.threads,
+        ..Default::default()
+    });
+    let mut interner = ScenarioInterner::default();
+    let t0 = Instant::now();
+    let (tx, rx) = std::sync::mpsc::channel::<WireEntry>();
+
+    let lines_seen = std::thread::scope(|scope| -> std::io::Result<u64> {
+        let service_ref = &service;
+        let writer = scope.spawn(move || -> std::io::Result<W> {
+            let mut output = output;
+            // Entries arrive in submission order; waiting on each ticket in
+            // turn therefore emits responses in request order even when the
+            // workers finish out of order.
+            for (id, filter, entry) in rx {
+                let result = match entry {
+                    Ok(ticket) => match service_ref.wait(ticket) {
+                        Ok(outcome) => {
+                            Ok((outcome.metrics, outcome.result_hit, outcome.scenario_hit))
+                        }
+                        Err(e) => Err(e.to_string()),
+                    },
+                    Err(e) => Err(e),
+                };
+                writeln!(
+                    output,
+                    "{}",
+                    render_response(&id, &result, filter.as_deref())
+                )?;
+                output.flush()?;
+            }
+            Ok(output)
+        });
+
+        let mut lines_seen = 0u64;
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            lines_seen += 1;
+            let (id, decoded) = decode_request(&line, &mut interner);
+            let entry = match decoded {
+                Ok((request, filter)) => (id, filter, Ok(service.submit(request))),
+                Err(e) => (id, None, Err(e)),
+            };
+            if tx.send(entry).is_err() {
+                break; // writer died (broken pipe); stop reading
+            }
+        }
+        drop(tx);
+        writer.join().expect("writer thread never panics")?;
+        Ok(lines_seen)
+    })?;
+
+    let stats = service.stats();
+    Ok(format!(
+        "serve: {lines_seen} request(s) in {:.2?} — {} completed, {} result-cache hit(s), \
+         {} prepared-scenario hit(s), {} preparation(s), {} batch(es), {} eviction(s)",
+        t0.elapsed(),
+        stats.completed,
+        stats.result_hits,
+        stats.scenario_hits,
+        stats.scenario_misses,
+        stats.batches,
+        stats.evictions,
+    ))
+}
+
+/// The `serve` registry entry: stdin/stdout wrapper over
+/// [`serve_streams`].
+pub fn run_serve(opts: &RunOptions) -> std::io::Result<String> {
+    let stdin = std::io::stdin();
+    serve_streams(stdin.lock(), std::io::stdout(), opts)
+}
+
+// ---------------------------------------------------------------------------
+// serve-load: self-driving load generator
+// ---------------------------------------------------------------------------
+
+/// The `serve-load` registry entry: drives a deterministic request mix
+/// through an in-process [`EvalService`] and reports throughput plus cache
+/// behaviour (`serve_load.csv`).
+pub fn run_load(opts: &RunOptions) -> std::io::Result<String> {
+    let scenarios: Vec<Arc<Scenario>> = (0..8)
+        .map(|i| {
+            Arc::new(Scenario::paper_random(
+                30,
+                8,
+                1.1,
+                opts.seed.wrapping_add(i),
+            ))
+        })
+        .collect();
+    let evaluators = ["classic", "spelde", "dodin"];
+    let schedules_per_scenario = opts.count(64, 8);
+    let repeats = opts.count(4, 2);
+
+    let service = EvalService::new(ServiceConfig {
+        workers: opts.threads,
+        ..Default::default()
+    });
+
+    // Phase 1 — cold: first touch of every (scenario, evaluator) pair pays
+    // the preparation; one schedule each.
+    let t_cold = Instant::now();
+    for s in &scenarios {
+        let sched = random_schedule(&s.graph.dag, s.machine_count(), 0);
+        for ev in evaluators {
+            service
+                .evaluate(EvalRequest::new(s.clone(), sched.clone(), ev))
+                .expect("load-generator request cannot fail");
+        }
+    }
+    let cold = t_cold.elapsed();
+    let cold_requests = scenarios.len() * evaluators.len();
+
+    // Phase 2 — steady state: distinct schedules over warm scenarios
+    // (prepared-state hits, batching across clients).
+    let t_steady = Instant::now();
+    let mut steady_requests = 0u64;
+    for round in 0..repeats {
+        for (si, s) in scenarios.iter().enumerate() {
+            for k in 0..schedules_per_scenario {
+                let seed = (round * 1_000_000 + si * 10_000 + k) as u64;
+                let sched = random_schedule(&s.graph.dag, s.machine_count(), seed);
+                let ev = evaluators[k % evaluators.len()];
+                service.submit(EvalRequest::new(s.clone(), sched, ev));
+                steady_requests += 1;
+            }
+        }
+    }
+    for _ in 0..steady_requests {
+        let (_, result) = service.next_response();
+        result.expect("load-generator request cannot fail");
+    }
+    let steady = t_steady.elapsed();
+
+    // Phase 3 — dedup: replay one identical request many times; everything
+    // after the first submission is a result-cache hit.
+    let replay = opts.count(2000, 100);
+    let hot_req = EvalRequest::new(
+        scenarios[0].clone(),
+        random_schedule(&scenarios[0].graph.dag, scenarios[0].machine_count(), 0),
+        "classic",
+    );
+    let t_hot = Instant::now();
+    for _ in 0..replay {
+        service
+            .evaluate(hot_req.clone())
+            .expect("load-generator request cannot fail");
+    }
+    let hot = t_hot.elapsed();
+
+    let stats = service.stats();
+    let steady_rps = steady_requests as f64 / steady.as_secs_f64().max(1e-9);
+    let hot_rps = replay as f64 / hot.as_secs_f64().max(1e-9);
+    let cold_ms = cold.as_secs_f64() * 1e3 / cold_requests as f64;
+    let hot_us = hot.as_secs_f64() * 1e6 / replay as f64;
+
+    let mut csv = String::from("phase,requests,seconds,requests_per_sec\n");
+    csv.push_str(&format!(
+        "cold,{cold_requests},{:.6},{:.1}\n",
+        cold.as_secs_f64(),
+        cold_requests as f64 / cold.as_secs_f64().max(1e-9)
+    ));
+    csv.push_str(&format!(
+        "steady,{steady_requests},{:.6},{steady_rps:.1}\n",
+        steady.as_secs_f64()
+    ));
+    csv.push_str(&format!(
+        "dedup,{replay},{:.6},{hot_rps:.1}\n",
+        hot.as_secs_f64()
+    ));
+    opts.write_artifact("serve_load.csv", &csv)?;
+
+    Ok(format!(
+        "EvalService load generator\n\
+         ==========================\n\
+         cold     : {cold_requests} requests, {cold_ms:.3} ms/request (first touch pays preparation)\n\
+         steady   : {steady_requests} requests, {steady_rps:.0} req/s (prepared-scenario hits: {})\n\
+         dedup    : {replay} identical requests, {hot_rps:.0} req/s ({hot_us:.1} µs/request)\n\
+         caches   : {} preparation(s), {} result-cache hit(s), {} eviction(s), {} batch(es)\n",
+        stats.scenario_hits, stats.scenario_misses, stats.result_hits, stats.evictions,
+        stats.batches,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let doc = parse_json(r#"{"a": [1, 2.5, "x\n", true, null], "b": {"c": -3e2}}"#).unwrap();
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap().as_f64(),
+            Some(-300.0)
+        );
+        let mut out = String::new();
+        write_json(&doc, &mut out);
+        assert_eq!(parse_json(&out).unwrap(), doc);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2] tail").is_err());
+        assert!(parse_json("nul").is_err());
+    }
+
+    #[test]
+    fn serve_answers_in_order_and_survives_bad_lines() {
+        let input = concat!(
+            r#"{"id": 1, "scenario": {"family": "paper-random", "n": 10, "m": 3, "ul": 1.1, "seed": 5}, "schedule": {"kind": "heuristic", "name": "heft"}, "evaluator": "classic"}"#,
+            "\n",
+            "this is not json\n",
+            r#"{"id": 3, "scenario": {"family": "paper-random", "n": 10, "m": 3, "ul": 1.1, "seed": 5}, "schedule": {"kind": "heuristic", "name": "heft"}, "evaluator": "classic", "metrics": ["expected_makespan"]}"#,
+            "\n",
+            r#"{"id": 4, "scenario": {"family": "app", "class": "cholesky", "n": 4, "m": 3, "speed_cov": 0.3, "ul": 1.1, "seed": 5}, "schedule": {"kind": "random", "seed": 9}, "evaluator": "nope"}"#,
+            "\n",
+        );
+        let mut output = Vec::new();
+        let opts = RunOptions {
+            threads: Some(2),
+            out_dir: None,
+            ..Default::default()
+        };
+        let summary = serve_streams(input.as_bytes(), &mut output, &opts).unwrap();
+        assert!(summary.contains("4 request(s)"), "{summary}");
+        let lines: Vec<Json> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| parse_json(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].get("id").unwrap().as_f64(), Some(1.0));
+        assert_eq!(lines[0].get("ok"), Some(&Json::Bool(true)));
+        assert!(lines[0]
+            .get("metrics")
+            .unwrap()
+            .get("expected_makespan")
+            .is_some());
+        assert_eq!(lines[1].get("ok"), Some(&Json::Bool(false)));
+        // id 3 repeats id 1's request: identical metrics, served from cache.
+        assert_eq!(lines[2].get("cache_hit"), Some(&Json::Bool(true)));
+        assert_eq!(
+            lines[2].get("metrics").unwrap().get("expected_makespan"),
+            lines[0].get("metrics").unwrap().get("expected_makespan"),
+        );
+        // The filter dropped the other nine fields.
+        match lines[2].get("metrics").unwrap() {
+            Json::Obj(fields) => assert_eq!(fields.len(), 1),
+            other => panic!("expected object, got {other:?}"),
+        }
+        assert_eq!(lines[3].get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn load_generator_smoke() {
+        let opts = RunOptions {
+            scale: 0.02,
+            out_dir: None,
+            seed: 1,
+            threads: Some(2),
+        };
+        let report = run_load(&opts).unwrap();
+        assert!(report.contains("req/s"), "{report}");
+    }
+}

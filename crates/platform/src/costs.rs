@@ -167,7 +167,7 @@ impl CostMatrix {
         let row = &self.w[i * self.m..(i + 1) * self.m];
         row.iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(j, _)| j)
             .unwrap()
     }

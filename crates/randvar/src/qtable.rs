@@ -270,7 +270,7 @@ fn knot_probabilities(bulk: usize) -> (Vec<f64>, Vec<usize>) {
             ladder.push(1.0 - d);
         }
     }
-    ladder.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ladder.sort_by(f64::total_cmp);
 
     let mut us = Vec::with_capacity(bulk + ladder.len());
     let mut bulk_idx = Vec::with_capacity(bulk);

@@ -89,7 +89,7 @@ pub fn bil(scenario: &Scenario) -> Schedule {
                 *slot = start + table[t * m + j];
             }
             let mut sorted = bims.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(f64::total_cmp);
             let score = sorted[k - 1];
             if score > chosen_score || (score == chosen_score && ready[idx] < ready[chosen_idx]) {
                 chosen_score = score;

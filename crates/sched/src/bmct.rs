@@ -73,8 +73,7 @@ pub fn hyb_bmct(scenario: &Scenario) -> Schedule {
                     .min_by(|&a, &b| {
                         scenario
                             .det_task_cost(t, a)
-                            .partial_cmp(&scenario.det_task_cost(t, b))
-                            .unwrap()
+                            .total_cmp(&scenario.det_task_cost(t, b))
                     })
                     .unwrap()
             })

@@ -30,9 +30,10 @@ impl PartialOrd for Entry {
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // `total_cmp` gives NaN priorities a deterministic place in the
+        // heap order instead of collapsing them to "equal".
         self.priority
-            .partial_cmp(&other.priority)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.priority)
             .then_with(|| other.task.cmp(&self.task))
     }
 }
@@ -54,7 +55,7 @@ pub fn cpop(scenario: &Scenario) -> Schedule {
     let mut cursor = dag
         .entry_nodes()
         .into_iter()
-        .max_by(|&a, &b| prio[a].partial_cmp(&prio[b]).unwrap())
+        .max_by(|&a, &b| prio[a].total_cmp(&prio[b]))
         .expect("graph has at least one entry");
     loop {
         cp_member[cursor] = true;
@@ -62,7 +63,7 @@ pub fn cpop(scenario: &Scenario) -> Schedule {
             .succs(cursor)
             .iter()
             .map(|&(s, _)| s)
-            .max_by(|&a, &b| prio[a].partial_cmp(&prio[b]).unwrap());
+            .max_by(|&a, &b| prio[a].total_cmp(&prio[b]));
         match next {
             Some(s) if (prio[s] - cp_value).abs() <= eps || prio[s] >= cp_value - eps => {
                 cursor = s;
@@ -87,7 +88,7 @@ pub fn cpop(scenario: &Scenario) -> Schedule {
                 .filter(|&v| cp_member[v])
                 .map(|v| scenario.det_task_cost(v, b))
                 .sum();
-            ca.partial_cmp(&cb).unwrap()
+            ca.total_cmp(&cb)
         })
         .expect("at least one machine");
 
@@ -180,7 +181,7 @@ mod tests {
             .dag
             .entry_nodes()
             .into_iter()
-            .max_by(|&a, &b| prio[a].partial_cmp(&prio[b]).unwrap())
+            .max_by(|&a, &b| prio[a].total_cmp(&prio[b]))
             .unwrap();
         let cp_machine = sched.machine_of(entry);
         let mut cursor = entry;
@@ -196,7 +197,7 @@ mod tests {
                 .succs(cursor)
                 .iter()
                 .map(|&(v, _)| v)
-                .max_by(|&a, &b| prio[a].partial_cmp(&prio[b]).unwrap())
+                .max_by(|&a, &b| prio[a].total_cmp(&prio[b]))
             {
                 Some(nxt) => cursor = nxt,
                 None => break,

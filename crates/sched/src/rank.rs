@@ -50,12 +50,7 @@ pub fn downward_ranks(scenario: &Scenario) -> Vec<f64> {
 /// deterministic HEFT ordering).
 pub fn tasks_by_decreasing_rank(ranks: &[f64]) -> Vec<NodeId> {
     let mut tasks: Vec<NodeId> = (0..ranks.len()).collect();
-    tasks.sort_by(|&a, &b| {
-        ranks[b]
-            .partial_cmp(&ranks[a])
-            .unwrap()
-            .then_with(|| a.cmp(&b))
-    });
+    tasks.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]).then_with(|| a.cmp(&b)));
     tasks
 }
 

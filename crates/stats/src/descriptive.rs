@@ -57,7 +57,9 @@ pub fn quantile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty sample");
     assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // `total_cmp` keeps NaN inputs from panicking mid-study: NaNs sort to
+    // the top and propagate into the interpolation instead of aborting.
+    sorted.sort_by(f64::total_cmp);
     let h = p * (sorted.len() - 1) as f64;
     let i = h.floor() as usize;
     let frac = h - i as f64;

@@ -24,7 +24,7 @@ impl Ecdf {
             "samples must be finite"
         );
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         Self { sorted }
     }
 

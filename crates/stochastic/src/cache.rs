@@ -24,14 +24,20 @@ use robusched_platform::{Scenario, UncertaintyKind, UncertaintyModel};
 use robusched_randvar::{DiscreteRv, QuantileTable};
 use std::sync::{Arc, OnceLock};
 
-/// FNV-1a fingerprint of everything that determines the discretized
-/// distributions: dimensions, uncertainty model (incl. per-task ULs),
-/// every deterministic task cost, every edge volume, and the network's
-/// per-pair rate/latency matrices. Two scenarios with equal fingerprints
-/// produce identical `task_dist`/`comm_dist` families, so a cache built
-/// for one is valid for the other. ~`n·m + e + 2m²` hash steps — a few µs,
-/// amortized over a ~ms evaluation.
-fn fingerprint(scenario: &Scenario) -> u64 {
+/// FNV-1a fingerprint of everything that determines the evaluation
+/// semantics of a scenario: dimensions, uncertainty model (incl. per-task
+/// ULs), every deterministic task cost, every edge volume, and the
+/// network's per-pair rate/latency matrices. Two scenarios with equal
+/// fingerprints produce identical `task_dist`/`comm_dist` families, so any
+/// prepared state — a [`DiscretizedScenario`], [`SamplingTables`], or a
+/// service-level cache entry keyed on this value — built for one is valid
+/// for the other. ~`n·m + e + 2m²` hash steps — a few µs, amortized over a
+/// ~ms evaluation.
+///
+/// This is the cache key of `robusched-core`'s `EvalService`: requests
+/// whose scenarios hash equal share one prepared-state entry, so repeated
+/// scenarios skip all preparation.
+pub fn scenario_fingerprint(scenario: &Scenario) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -109,7 +115,7 @@ impl DiscretizedScenario {
         Self {
             grid,
             m,
-            fingerprint: fingerprint(scenario),
+            fingerprint: scenario_fingerprint(scenario),
             tasks,
             comms,
         }
@@ -127,7 +133,7 @@ impl DiscretizedScenario {
     /// costs or uncertainty level — are correctly rejected, not just
     /// different-shape ones.
     pub fn matches(&self, scenario: &Scenario) -> bool {
-        self.fingerprint == fingerprint(scenario)
+        self.fingerprint == scenario_fingerprint(scenario)
     }
 
     /// The discretized duration of task `v` on machine `p`.

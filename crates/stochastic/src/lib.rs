@@ -49,7 +49,7 @@ pub mod montecarlo;
 pub mod spelde;
 
 pub use accuracy::AccuracyReport;
-pub use cache::{DiscretizedScenario, SamplingTables};
+pub use cache::{scenario_fingerprint, DiscretizedScenario, SamplingTables};
 pub use classic::{
     evaluate_classic, evaluate_classic_cached, evaluate_classic_full, ClassicScratch,
 };

@@ -46,8 +46,7 @@ fn main() {
         .map(|i| random_schedule(&scenario.graph.dag, 4, derive_seed(55, i)))
         .min_by(|a, b| {
             robusched::sched::det_makespan(&scenario, a)
-                .partial_cmp(&robusched::sched::det_makespan(&scenario, b))
-                .unwrap()
+                .total_cmp(&robusched::sched::det_makespan(&scenario, b))
         })
         .unwrap();
     candidates.push(("best-random".into(), best_random));
@@ -77,8 +76,7 @@ fn main() {
         .iter()
         .min_by(|a, b| {
             (a.1.expected_makespan + 2.0 * a.1.makespan_std)
-                .partial_cmp(&(b.1.expected_makespan + 2.0 * b.1.makespan_std))
-                .unwrap()
+                .total_cmp(&(b.1.expected_makespan + 2.0 * b.1.makespan_std))
         })
         .unwrap();
     println!(

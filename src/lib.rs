@@ -15,7 +15,8 @@
 //! * [`stochastic`] — makespan-distribution evaluation (classic, Dodin,
 //!   Spelde, Monte-Carlo);
 //! * [`stats`] — correlation and descriptive statistics;
-//! * [`core`] — the robustness metrics and the comparison-study pipeline;
+//! * [`core`] — the robustness metrics, the comparison-study pipeline, and
+//!   the batched, cache-deduplicated [`core::EvalService`];
 //! * [`experiments`] — figure-by-figure reproduction harness.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.

@@ -105,10 +105,10 @@ fn finding_5_heuristics_in_the_good_corner() {
     // best makespan and often the best standard deviation".
     let res = study(25, 4, 1.1, 5, 500);
     let mut ms: Vec<f64> = res.random.iter().map(|m| m.expected_makespan).collect();
-    ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ms.sort_by(f64::total_cmp);
     let q05 = ms[ms.len() / 20];
     let mut std: Vec<f64> = res.random.iter().map(|m| m.makespan_std).collect();
-    std.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    std.sort_by(f64::total_cmp);
     let std_q25 = std[ms.len() / 4];
     for (name, m) in &res.heuristics {
         assert!(
