@@ -1,0 +1,51 @@
+//! Trace-ingestion benchmarks: the `ext-traces/*` group.
+//!
+//! Covers both halves of the new pipeline on the largest committed
+//! fixture (the Montage-like DAX, 20 tasks / 38 dependencies): raw
+//! parsing per format, the trace → `TaskGraph` conversion, and a
+//! reduced-scale pass of the full `ext-traces` correlation study.
+//! `scripts/bench_diff.py` gates regressions on all of them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robusched_dag::parsers::parse_trace;
+use robusched_experiments::ext::traces::{self, SAMPLE_TRACES};
+use robusched_experiments::RunOptions;
+use std::hint::black_box;
+
+fn parse_fixtures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext-traces");
+    for (file, content) in SAMPLE_TRACES {
+        let label = file.rsplit_once('.').map(|(_, ext)| ext).unwrap_or(file);
+        g.bench_function(format!("parse-{label}"), |b| {
+            b.iter(|| black_box(parse_trace(file, black_box(content)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn convert_largest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext-traces");
+    let trace = traces::sample_trace("montage-like").unwrap();
+    g.bench_function("to-task-graph-montage", |b| {
+        b.iter(|| black_box(black_box(&trace).to_task_graph()))
+    });
+    g.finish();
+}
+
+fn study_reduced(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext-traces");
+    g.sample_size(10);
+    let opts = RunOptions {
+        scale: 0.01,
+        out_dir: None,
+        seed: 99,
+        threads: None,
+    };
+    g.bench_function("study-scale-0.01", |b| {
+        b.iter(|| black_box(traces::run(&opts).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, parse_fixtures, convert_largest, study_reduced);
+criterion_main!(benches);

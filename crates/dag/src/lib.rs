@@ -21,11 +21,18 @@
 //! * [`apps`] — the structured-application suite behind the `ext-apps`
 //!   study: Cholesky, LU, FFT butterfly, stencil wavefront and fork-join
 //!   classes, each sized by a single `n` knob, seed-deterministic, and
-//!   normalized to one source and one sink.
+//!   normalized to one source and one sink;
+//! * [`parsers`] — real-workflow trace ingestion: hand-rolled DAX
+//!   (Pegasus XML), WfCommons (JSON) and Graphviz DOT readers producing a
+//!   [`parsers::TraceDag`] (tasks in flops, edges in bytes) that converts
+//!   to a [`TaskGraph`] under the reference-platform unit convention.
+//!   Total on arbitrary input: every failure is a [`parsers::ParseError`],
+//!   never a panic.
 
 pub mod apps;
 pub mod generators;
 pub mod graph;
+pub mod parsers;
 pub mod task_graph;
 
 pub use apps::AppClass;
@@ -34,4 +41,5 @@ pub use generators::{
     LayeredRandomConfig,
 };
 pub use graph::{Dag, EdgeId, NodeId};
+pub use parsers::{parse_trace, ParseError, TraceDag};
 pub use task_graph::TaskGraph;

@@ -1,0 +1,232 @@
+//! The Pegasus DAX (XML) trace parser.
+//!
+//! Supported subset (everything the published Montage / Epigenomics /
+//! CyberShake DAXes use):
+//!
+//! * root `<adag>` with an optional `name` attribute;
+//! * `<job id="…" [name="…"] runtime="…">` — `runtime` in seconds is
+//!   converted to flops via [`REF_SPEED`];
+//! * `<uses file="…" link="input|output" [size="…"]/>` children declaring
+//!   the files a job consumes/produces, sizes in bytes;
+//! * `<child ref="…"><parent ref="…"/></child>` dependency declarations.
+//!
+//! The byte volume of an edge `parent → child` is the total size of the
+//! files the parent *outputs* and the child *inputs* (matched by file
+//! name, the producer's declared size wins) — the same rule dslab-dag
+//! applies. A dependency whose endpoints share no files gets volume 0.
+
+use super::xml::{parse_xml, XmlElement};
+use super::{ParseError, TraceBuilder, TraceDag, REF_SPEED};
+use std::collections::HashMap;
+
+/// Parses a DAX document. `fallback_name` names the trace when `<adag>`
+/// carries no `name` attribute.
+pub fn parse_dax(input: &str, fallback_name: &str) -> Result<TraceDag, ParseError> {
+    let root = parse_xml(input)?;
+    if root.name != "adag" {
+        return Err(ParseError::new(format!(
+            "dax: expected <adag> root, found <{}>",
+            root.name
+        )));
+    }
+    let name = root.attr("name").unwrap_or(fallback_name).to_string();
+
+    let mut builder = TraceBuilder::new();
+    // Per job: file name → bytes, split by direction.
+    let mut inputs: Vec<HashMap<String, f64>> = Vec::new();
+    let mut outputs: Vec<HashMap<String, f64>> = Vec::new();
+
+    for job in root.children_named("job") {
+        let id = job
+            .attr("id")
+            .ok_or_else(|| ParseError::new("dax: <job> without an id attribute"))?;
+        let runtime = parse_number(job, "runtime")?
+            .ok_or_else(|| ParseError::new(format!("dax: job '{id}' has no runtime attribute")))?;
+        builder.add_task(id, runtime * REF_SPEED)?;
+        let mut job_in = HashMap::new();
+        let mut job_out = HashMap::new();
+        for uses in job.children_named("uses") {
+            let file = uses
+                .attr("file")
+                .or_else(|| uses.attr("name"))
+                .ok_or_else(|| {
+                    ParseError::new(format!("dax: <uses> without a file name in job '{id}'"))
+                })?;
+            let size = parse_number(uses, "size")?.unwrap_or(0.0);
+            if !size.is_finite() || size < 0.0 {
+                return Err(ParseError::new(format!(
+                    "dax: file '{file}' in job '{id}' has invalid size {size}"
+                )));
+            }
+            match uses.attr("link") {
+                Some("input") => {
+                    job_in.insert(file.to_string(), size);
+                }
+                Some("output") => {
+                    job_out.insert(file.to_string(), size);
+                }
+                Some(other) => {
+                    return Err(ParseError::new(format!(
+                        "dax: unknown link direction '{other}' in job '{id}'"
+                    )))
+                }
+                None => {
+                    return Err(ParseError::new(format!(
+                        "dax: <uses> without a link direction in job '{id}'"
+                    )))
+                }
+            }
+        }
+        inputs.push(job_in);
+        outputs.push(job_out);
+    }
+
+    for child in root.children_named("child") {
+        let child_ref = child
+            .attr("ref")
+            .ok_or_else(|| ParseError::new("dax: <child> without a ref attribute"))?;
+        let c = builder.require_task(child_ref)?;
+        for parent in child.children_named("parent") {
+            let parent_ref = parent
+                .attr("ref")
+                .ok_or_else(|| ParseError::new("dax: <parent> without a ref attribute"))?;
+            let p = builder.require_task(parent_ref)?;
+            // Bytes: files produced by the parent and consumed by the
+            // child. The producer's declared size wins on disagreement.
+            let bytes: f64 = outputs[p]
+                .iter()
+                .filter(|(file, _)| inputs[c].contains_key(*file))
+                .map(|(_, size)| *size)
+                .sum();
+            builder.add_edge(p, c, bytes)?;
+        }
+    }
+
+    // Reject unknown element kinds under <adag> so typos fail loudly.
+    for other in &root.children {
+        if other.name != "job" && other.name != "child" {
+            return Err(ParseError::new(format!(
+                "dax: unsupported element <{}> under <adag>",
+                other.name
+            )));
+        }
+    }
+
+    builder.finish(name)
+}
+
+/// A numeric attribute, if present; finite-ness enforced.
+fn parse_number(e: &XmlElement, attr: &str) -> Result<Option<f64>, ParseError> {
+    match e.attr(attr) {
+        None => Ok(None),
+        Some(raw) => raw
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .map(Some)
+            .ok_or_else(|| {
+                ParseError::new(format!(
+                    "dax: attribute {attr}=\"{raw}\" of <{}> is not a finite number",
+                    e.name
+                ))
+            }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"<?xml version="1.0"?>
+<adag name="tiny">
+  <job id="ID0" name="gen" runtime="2.0">
+    <uses file="raw" link="output" size="1000"/>
+    <uses file="log" link="output" size="50"/>
+  </job>
+  <job id="ID1" name="proc" runtime="4.0">
+    <uses file="raw" link="input" size="1000"/>
+    <uses file="out" link="output" size="200"/>
+  </job>
+  <job id="ID2" name="pack" runtime="1.0">
+    <uses file="out" link="input" size="200"/>
+    <uses file="raw" link="input" size="1000"/>
+  </job>
+  <child ref="ID1"><parent ref="ID0"/></child>
+  <child ref="ID2"><parent ref="ID1"/><parent ref="ID0"/></child>
+</adag>"#;
+
+    #[test]
+    fn parses_jobs_edges_and_file_volumes() {
+        let t = parse_dax(TINY, "fallback").unwrap();
+        assert_eq!(t.name, "tiny");
+        assert_eq!(t.task_count(), 3);
+        assert_eq!(t.edge_count(), 3);
+        assert_eq!(t.tasks[t.task_id("ID0").unwrap()].flops, 2.0 * REF_SPEED);
+        // ID0→ID1 ships "raw" (1000); ID1→ID2 ships "out" (200);
+        // ID0→ID2 ships "raw" again (1000); "log" is consumed by nobody.
+        let e01 = t.dag.edge_between(0, 1).unwrap();
+        let e12 = t.dag.edge_between(1, 2).unwrap();
+        let e02 = t.dag.edge_between(0, 2).unwrap();
+        assert_eq!(t.edge_bytes[e01], 1000.0);
+        assert_eq!(t.edge_bytes[e12], 200.0);
+        assert_eq!(t.edge_bytes[e02], 1000.0);
+    }
+
+    #[test]
+    fn missing_name_falls_back() {
+        let t = parse_dax(r#"<adag><job id="a" runtime="1"/></adag>"#, "from-filename").unwrap();
+        assert_eq!(t.name, "from-filename");
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        for (bad, what) in [
+            (r#"<dag><job id="a" runtime="1"/></dag>"#, "wrong root"),
+            (r#"<adag><job runtime="1"/></adag>"#, "job without id"),
+            (r#"<adag><job id="a"/></adag>"#, "job without runtime"),
+            (
+                r#"<adag><job id="a" runtime="x"/></adag>"#,
+                "non-numeric runtime",
+            ),
+            (
+                r#"<adag><job id="a" runtime="1"/><job id="a" runtime="1"/></adag>"#,
+                "duplicate id",
+            ),
+            (
+                r#"<adag><job id="a" runtime="1"/><child ref="b"><parent ref="a"/></child></adag>"#,
+                "unknown child ref",
+            ),
+            (
+                r#"<adag><job id="a" runtime="1"/><child ref="a"><parent ref="a"/></child></adag>"#,
+                "self-dependency",
+            ),
+            (
+                r#"<adag><job id="a" runtime="1"><uses file="f" size="1"/></job></adag>"#,
+                "uses without link",
+            ),
+            (
+                r#"<adag><job id="a" runtime="1"><uses link="input" size="1"/></job></adag>"#,
+                "uses without file",
+            ),
+            (
+                r#"<adag><job id="a" runtime="1"/><task id="b"/></adag>"#,
+                "unknown element",
+            ),
+            (r#"<adag><job id="a" runtime="0"/></adag>"#, "all-zero work"),
+        ] {
+            assert!(parse_dax(bad, "t").is_err(), "{what}: {bad}");
+        }
+    }
+
+    #[test]
+    fn dependency_cycles_are_rejected() {
+        let doc = r#"<adag>
+          <job id="a" runtime="1"/><job id="b" runtime="1"/>
+          <child ref="b"><parent ref="a"/></child>
+          <child ref="a"><parent ref="b"/></child>
+        </adag>"#;
+        let e = parse_dax(doc, "t").unwrap_err();
+        assert!(e.message.contains("cycle"), "{e}");
+    }
+}

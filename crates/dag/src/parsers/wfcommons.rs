@@ -1,0 +1,314 @@
+//! The WfCommons (JSON) trace parser and writer.
+//!
+//! Supported subset of the WfCommons instance schema (the fields the
+//! published WfInstances use, old and new spellings both accepted):
+//!
+//! ```json
+//! {"name": "epigenomics",
+//!  "workflow": {"tasks": [
+//!     {"name": "split_0",
+//!      "runtimeInSeconds": 12.5,          // or "runtime"
+//!      "parents": ["..."],                // optional
+//!      "files": [{"link": "output", "name": "chunk1",
+//!                 "sizeInBytes": 4096}]}  // or "size"
+//!  ]}}
+//! ```
+//!
+//! `workflow.jobs` is accepted as an alias for `workflow.tasks`. Tasks are
+//! keyed by `id` when present, else by `name`. The byte volume of an edge
+//! `parent → child` is the total size of the files the parent outputs and
+//! the child inputs (matched by file name, producer size wins), exactly as
+//! in the DAX parser. Runtimes convert to flops via
+//! [`REF_SPEED`].
+//!
+//! [`write_wfcommons`] emits a document in this same subset; parsing it
+//! back reproduces the trace (the round-trip property test pins this).
+
+use super::json::{parse_json, write_json, Json};
+use super::{ParseError, TraceBuilder, TraceDag, REF_SPEED};
+use std::collections::HashMap;
+
+/// Parses a WfCommons instance document. `fallback_name` names the trace
+/// when the document has no top-level `name`.
+pub fn parse_wfcommons(input: &str, fallback_name: &str) -> Result<TraceDag, ParseError> {
+    let doc = parse_json(input).map_err(|e| ParseError::new(format!("wfcommons: {e}")))?;
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or(fallback_name)
+        .to_string();
+    let workflow = doc
+        .get("workflow")
+        .ok_or_else(|| ParseError::new("wfcommons: missing 'workflow' object"))?;
+    let tasks = workflow
+        .get("tasks")
+        .or_else(|| workflow.get("jobs"))
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ParseError::new("wfcommons: 'workflow.tasks' must be an array"))?;
+
+    let mut builder = TraceBuilder::new();
+    let mut inputs: Vec<HashMap<String, f64>> = Vec::new();
+    let mut outputs: Vec<HashMap<String, f64>> = Vec::new();
+    let mut parents: Vec<Vec<String>> = Vec::new();
+
+    for (i, task) in tasks.iter().enumerate() {
+        let key = task
+            .get("id")
+            .or_else(|| task.get("name"))
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                ParseError::new(format!("wfcommons: task #{i} has no 'id' or 'name' string"))
+            })?;
+        let runtime = task
+            .get("runtimeInSeconds")
+            .or_else(|| task.get("runtime"))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| {
+                ParseError::new(format!(
+                    "wfcommons: task '{key}' has no numeric 'runtimeInSeconds'/'runtime'"
+                ))
+            })?;
+        builder.add_task(key, runtime * REF_SPEED)?;
+
+        let mut task_in = HashMap::new();
+        let mut task_out = HashMap::new();
+        if let Some(files) = task.get("files") {
+            let files = files.as_arr().ok_or_else(|| {
+                ParseError::new(format!(
+                    "wfcommons: 'files' of task '{key}' must be an array"
+                ))
+            })?;
+            for file in files {
+                let fname = file
+                    .get("name")
+                    .or_else(|| file.get("fileId"))
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| {
+                        ParseError::new(format!("wfcommons: file without a name in task '{key}'"))
+                    })?;
+                let size = file
+                    .get("sizeInBytes")
+                    .or_else(|| file.get("size"))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                if !size.is_finite() || size < 0.0 {
+                    return Err(ParseError::new(format!(
+                        "wfcommons: file '{fname}' in task '{key}' has invalid size {size}"
+                    )));
+                }
+                match file.get("link").and_then(Json::as_str) {
+                    Some("input") => {
+                        task_in.insert(fname.to_string(), size);
+                    }
+                    Some("output") => {
+                        task_out.insert(fname.to_string(), size);
+                    }
+                    other => {
+                        return Err(ParseError::new(format!(
+                            "wfcommons: file '{fname}' in task '{key}' has link {other:?} \
+                             (expected \"input\" or \"output\")"
+                        )))
+                    }
+                }
+            }
+        }
+        inputs.push(task_in);
+        outputs.push(task_out);
+
+        let mut task_parents = Vec::new();
+        if let Some(list) = task.get("parents") {
+            let list = list.as_arr().ok_or_else(|| {
+                ParseError::new(format!(
+                    "wfcommons: 'parents' of task '{key}' must be an array"
+                ))
+            })?;
+            for p in list {
+                task_parents.push(
+                    p.as_str()
+                        .ok_or_else(|| {
+                            ParseError::new(format!("wfcommons: non-string parent in task '{key}'"))
+                        })?
+                        .to_string(),
+                );
+            }
+        }
+        parents.push(task_parents);
+    }
+
+    for (c, task_parents) in parents.iter().enumerate() {
+        for parent in task_parents {
+            let p = builder.require_task(parent)?;
+            let bytes: f64 = outputs[p]
+                .iter()
+                .filter(|(file, _)| inputs[c].contains_key(*file))
+                .map(|(_, size)| *size)
+                .sum();
+            builder.add_edge(p, c, bytes)?;
+        }
+    }
+
+    builder.finish(name)
+}
+
+/// Serializes a trace as a WfCommons instance document (the subset
+/// [`parse_wfcommons`] reads): one synthetic file per edge, named
+/// `<parent>__to__<child>`, declared as the parent's output and the
+/// child's input.
+pub fn write_wfcommons(trace: &TraceDag) -> String {
+    let edge_file = |e: usize| {
+        let (u, v) = trace.dag.edge_endpoints(e);
+        format!("{}__to__{}", trace.task_name(u), trace.task_name(v))
+    };
+    let tasks: Vec<Json> = (0..trace.task_count())
+        .map(|v| {
+            let mut files = Vec::new();
+            for &(_, e) in trace.dag.preds(v) {
+                files.push(file_obj(&edge_file(e), "input", trace.edge_bytes[e]));
+            }
+            for &(_, e) in trace.dag.succs(v) {
+                files.push(file_obj(&edge_file(e), "output", trace.edge_bytes[e]));
+            }
+            let parents: Vec<Json> = trace
+                .dag
+                .preds(v)
+                .iter()
+                .map(|&(u, _)| Json::Str(trace.task_name(u).to_string()))
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::Str(trace.task_name(v).to_string())),
+                (
+                    "runtimeInSeconds".into(),
+                    Json::Num(trace.tasks[v].flops / REF_SPEED),
+                ),
+                ("parents".into(), Json::Arr(parents)),
+                ("files".into(), Json::Arr(files)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("name".into(), Json::Str(trace.name.clone())),
+        (
+            "workflow".into(),
+            Json::Obj(vec![("tasks".into(), Json::Arr(tasks))]),
+        ),
+    ]);
+    let mut out = String::new();
+    write_json(&doc, &mut out);
+    out.push('\n');
+    out
+}
+
+fn file_obj(name: &str, link: &str, bytes: f64) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(name.to_string())),
+        ("link".into(), Json::Str(link.to_string())),
+        ("sizeInBytes".into(), Json::Num(bytes)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"{
+      "name": "tiny",
+      "workflow": {"tasks": [
+        {"name": "gen", "runtimeInSeconds": 2.0,
+         "files": [{"name": "raw", "link": "output", "sizeInBytes": 1000}]},
+        {"name": "proc", "runtime": 4.0, "parents": ["gen"],
+         "files": [{"name": "raw", "link": "input", "sizeInBytes": 1000},
+                   {"name": "out", "link": "output", "sizeInBytes": 200}]},
+        {"name": "pack", "runtimeInSeconds": 1.0, "parents": ["proc", "gen"],
+         "files": [{"name": "out", "link": "input", "sizeInBytes": 200}]}
+      ]}
+    }"#;
+
+    #[test]
+    fn parses_tasks_parents_and_volumes() {
+        let t = parse_wfcommons(TINY, "fallback").unwrap();
+        assert_eq!(t.name, "tiny");
+        assert_eq!(t.task_count(), 3);
+        assert_eq!(t.edge_count(), 3);
+        let t_gen = t.task_id("gen").unwrap();
+        let t_proc = t.task_id("proc").unwrap();
+        let t_pack = t.task_id("pack").unwrap();
+        assert_eq!(
+            t.edge_bytes[t.dag.edge_between(t_gen, t_proc).unwrap()],
+            1000.0
+        );
+        assert_eq!(
+            t.edge_bytes[t.dag.edge_between(t_proc, t_pack).unwrap()],
+            200.0
+        );
+        // pack lists gen as a parent but consumes none of its files.
+        assert_eq!(
+            t.edge_bytes[t.dag.edge_between(t_gen, t_pack).unwrap()],
+            0.0
+        );
+    }
+
+    #[test]
+    fn writer_roundtrips() {
+        let t = parse_wfcommons(TINY, "t").unwrap();
+        let re = parse_wfcommons(&write_wfcommons(&t), "t").unwrap();
+        assert_eq!(re.task_count(), t.task_count());
+        assert_eq!(re.edge_count(), t.edge_count());
+        for v in 0..t.task_count() {
+            let rv = re.task_id(t.task_name(v)).unwrap();
+            assert!((re.tasks[rv].flops - t.tasks[v].flops).abs() <= 1e-9 * t.tasks[v].flops);
+        }
+        for e in 0..t.edge_count() {
+            let (u, v) = t.dag.edge_endpoints(e);
+            let ru = re.task_id(t.task_name(u)).unwrap();
+            let rv = re.task_id(t.task_name(v)).unwrap();
+            let redge = re.dag.edge_between(ru, rv).expect("edge survives");
+            assert_eq!(re.edge_bytes[redge], t.edge_bytes[e]);
+        }
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        for (bad, what) in [
+            ("{}", "missing workflow"),
+            (r#"{"workflow": {}}"#, "missing tasks"),
+            (r#"{"workflow": {"tasks": 3}}"#, "tasks not an array"),
+            (r#"{"workflow": {"tasks": [{}]}}"#, "task without name"),
+            (
+                r#"{"workflow": {"tasks": [{"name": "a"}]}}"#,
+                "task without runtime",
+            ),
+            (
+                r#"{"workflow": {"tasks": [{"name": "a", "runtime": 1},
+                                           {"name": "a", "runtime": 1}]}}"#,
+                "duplicate name",
+            ),
+            (
+                r#"{"workflow": {"tasks": [{"name": "a", "runtime": 1,
+                                            "parents": ["ghost"]}]}}"#,
+                "unknown parent",
+            ),
+            (
+                r#"{"workflow": {"tasks": [{"name": "a", "runtime": 1,
+                                            "parents": "a"}]}}"#,
+                "parents not an array",
+            ),
+            (
+                r#"{"workflow": {"tasks": [{"name": "a", "runtime": 1,
+                     "files": [{"name": "f", "link": "sideways"}]}]}}"#,
+                "bad link",
+            ),
+            (
+                r#"{"workflow": {"tasks": [{"name": "a", "runtime": 1,
+                     "files": [{"link": "input"}]}]}}"#,
+                "file without name",
+            ),
+            (
+                r#"{"workflow": {"tasks": [{"name": "a", "runtime": -1}]}}"#,
+                "negative runtime",
+            ),
+            ("not json at all", "invalid json"),
+        ] {
+            assert!(parse_wfcommons(bad, "t").is_err(), "{what}: {bad}");
+        }
+    }
+}

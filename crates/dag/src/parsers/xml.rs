@@ -1,0 +1,342 @@
+//! A minimal XML tree reader — just enough for the Pegasus DAX subset.
+//!
+//! Supported: the XML declaration, comments, `<!DOCTYPE …>` (without an
+//! internal subset), elements with single- or double-quoted attributes,
+//! self-closing tags, character data (collected but unused by the DAX
+//! layer), the five predefined entities plus decimal/hex character
+//! references, and a nesting-depth limit. Not supported (rejected, not
+//! ignored): CDATA sections, processing instructions other than the
+//! declaration, namespaces beyond treating `:` as a name character, and
+//! mismatched or unclosed tags.
+
+use super::ParseError;
+
+/// Maximum element nesting depth (DAX files nest 3 levels).
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed XML element: name, attributes in source order, child elements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XmlElement {
+    /// Tag name (prefix included verbatim if namespaced).
+    pub name: String,
+    /// Attributes, in source order, entity references decoded.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements, in source order (text content is discarded).
+    pub children: Vec<XmlElement>,
+}
+
+impl XmlElement {
+    /// First attribute with the given name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+}
+
+/// Parses a document into its single root element. Prolog (declaration,
+/// comments, doctype) and trailing comments/whitespace are allowed;
+/// anything else outside the root is an error.
+pub fn parse_xml(input: &str) -> Result<XmlElement, ParseError> {
+    let b = input.as_bytes();
+    let mut pos = 0usize;
+    skip_prolog(b, &mut pos)?;
+    let root = parse_element(b, &mut pos, 0)?;
+    // Only whitespace and comments may follow the root.
+    loop {
+        skip_text(b, &mut pos);
+        if pos == b.len() {
+            return Ok(root);
+        }
+        if !skip_comment_or_decl(b, &mut pos)? {
+            return Err(err(b, pos, "content after the root element"));
+        }
+    }
+}
+
+fn err(b: &[u8], pos: usize, msg: &str) -> ParseError {
+    ParseError::new(format!("xml: {msg} at byte {} of {}", pos, b.len()))
+}
+
+/// Skips whitespace (outside tags, between prolog items).
+fn skip_text(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+/// Consumes one `<!-- -->` comment, `<?…?>` declaration/PI, or
+/// `<!DOCTYPE …>`; returns whether anything was consumed.
+fn skip_comment_or_decl(b: &[u8], pos: &mut usize) -> Result<bool, ParseError> {
+    if b[*pos..].starts_with(b"<!--") {
+        match find(b, *pos + 4, b"-->") {
+            Some(end) => {
+                *pos = end + 3;
+                Ok(true)
+            }
+            None => Err(err(b, *pos, "unterminated comment")),
+        }
+    } else if b[*pos..].starts_with(b"<?") {
+        match find(b, *pos + 2, b"?>") {
+            Some(end) => {
+                *pos = end + 2;
+                Ok(true)
+            }
+            None => Err(err(b, *pos, "unterminated processing instruction")),
+        }
+    } else if b[*pos..].starts_with(b"<!DOCTYPE") {
+        // No internal-subset support: scan to the first '>'.
+        match b[*pos..].iter().position(|&c| c == b'>') {
+            Some(off) => {
+                *pos += off + 1;
+                Ok(true)
+            }
+            None => Err(err(b, *pos, "unterminated DOCTYPE")),
+        }
+    } else {
+        Ok(false)
+    }
+}
+
+fn skip_prolog(b: &[u8], pos: &mut usize) -> Result<(), ParseError> {
+    loop {
+        skip_text(b, pos);
+        if *pos >= b.len() {
+            return Err(err(b, *pos, "missing root element"));
+        }
+        if !skip_comment_or_decl(b, pos)? {
+            return Ok(());
+        }
+    }
+}
+
+fn find(b: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    (from..b.len().saturating_sub(needle.len() - 1)).find(|&i| b[i..].starts_with(needle))
+}
+
+fn is_name_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':')
+}
+
+fn parse_name(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    let start = *pos;
+    while *pos < b.len() && is_name_byte(b[*pos]) {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(err(b, *pos, "expected a name"));
+    }
+    // Name bytes are ASCII, so this cannot fail.
+    Ok(std::str::from_utf8(&b[start..*pos]).unwrap().to_string())
+}
+
+/// Decodes the predefined entities plus `&#NN;` / `&#xNN;` references.
+fn decode_entities(b: &[u8], raw: &[u8], at: usize) -> Result<String, ParseError> {
+    let s = std::str::from_utf8(raw).map_err(|_| err(b, at, "invalid UTF-8"))?;
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        let tail = &rest[i + 1..];
+        let semi = tail
+            .find(';')
+            .ok_or_else(|| err(b, at, "unterminated entity reference"))?;
+        let ent = &tail[..semi];
+        match ent {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ => {
+                let code = ent
+                    .strip_prefix("#x")
+                    .or_else(|| ent.strip_prefix("#X"))
+                    .map(|h| u32::from_str_radix(h, 16))
+                    .or_else(|| ent.strip_prefix('#').map(str::parse::<u32>))
+                    .ok_or_else(|| err(b, at, "unknown entity reference"))?
+                    .map_err(|_| err(b, at, "malformed character reference"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| err(b, at, "character reference out of range"))?,
+                );
+            }
+        }
+        rest = &tail[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+fn parse_attrs(b: &[u8], pos: &mut usize) -> Result<Vec<(String, String)>, ParseError> {
+    let mut attrs = Vec::new();
+    loop {
+        skip_text(b, pos);
+        match b.get(*pos) {
+            Some(b'>') | Some(b'/') => return Ok(attrs),
+            None => return Err(err(b, *pos, "unterminated tag")),
+            Some(_) => {}
+        }
+        let name = parse_name(b, pos)?;
+        skip_text(b, pos);
+        if b.get(*pos) != Some(&b'=') {
+            return Err(err(b, *pos, "expected '=' after attribute name"));
+        }
+        *pos += 1;
+        skip_text(b, pos);
+        let quote = match b.get(*pos) {
+            Some(&q @ (b'"' | b'\'')) => q,
+            _ => return Err(err(b, *pos, "expected a quoted attribute value")),
+        };
+        *pos += 1;
+        let start = *pos;
+        while *pos < b.len() && b[*pos] != quote {
+            if b[*pos] == b'<' {
+                return Err(err(b, *pos, "'<' inside attribute value"));
+            }
+            *pos += 1;
+        }
+        if *pos >= b.len() {
+            return Err(err(b, start, "unterminated attribute value"));
+        }
+        let value = decode_entities(b, &b[start..*pos], start)?;
+        *pos += 1; // closing quote
+        if attrs.iter().any(|(k, _)| *k == name) {
+            return Err(err(b, start, "duplicate attribute"));
+        }
+        attrs.push((name, value));
+    }
+}
+
+fn parse_element(b: &[u8], pos: &mut usize, depth: usize) -> Result<XmlElement, ParseError> {
+    if depth >= MAX_DEPTH {
+        return Err(err(b, *pos, "element nesting too deep"));
+    }
+    if b.get(*pos) != Some(&b'<') {
+        return Err(err(b, *pos, "expected '<'"));
+    }
+    *pos += 1;
+    let name = parse_name(b, pos)?;
+    let attrs = parse_attrs(b, pos)?;
+    let mut element = XmlElement {
+        name,
+        attrs,
+        children: Vec::new(),
+    };
+    if b.get(*pos) == Some(&b'/') {
+        *pos += 1;
+        if b.get(*pos) != Some(&b'>') {
+            return Err(err(b, *pos, "expected '>' after '/'"));
+        }
+        *pos += 1;
+        return Ok(element); // self-closing
+    }
+    *pos += 1; // '>'
+
+    // Content loop: children, text (discarded), comments, then `</name>`.
+    loop {
+        // Discard character data up to the next markup; entities inside are
+        // not validated because the content is unused by the DAX layer.
+        while *pos < b.len() && b[*pos] != b'<' {
+            *pos += 1;
+        }
+        if *pos >= b.len() {
+            return Err(err(b, *pos, "unclosed element"));
+        }
+        if b[*pos..].starts_with(b"</") {
+            *pos += 2;
+            let close = parse_name(b, pos)?;
+            if close != element.name {
+                return Err(err(b, *pos, "mismatched closing tag"));
+            }
+            skip_text(b, pos);
+            if b.get(*pos) != Some(&b'>') {
+                return Err(err(b, *pos, "expected '>' in closing tag"));
+            }
+            *pos += 1;
+            return Ok(element);
+        }
+        if skip_comment_or_decl(b, pos)? {
+            continue;
+        }
+        element.children.push(parse_element(b, pos, depth + 1)?);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_small_document() {
+        let doc = r#"<?xml version="1.0" encoding="UTF-8"?>
+            <!-- generated -->
+            <adag name="montage" count='2'>
+              <job id="a" runtime="1.5"><uses file="f &amp; g" size="10"/></job>
+              <job id="b" runtime="2.0"/>
+              <child ref="b"><parent ref="a"/></child>
+            </adag>
+            <!-- trailing comment ok -->"#;
+        let root = parse_xml(doc).unwrap();
+        assert_eq!(root.name, "adag");
+        assert_eq!(root.attr("name"), Some("montage"));
+        assert_eq!(root.attr("count"), Some("2"));
+        assert_eq!(root.children.len(), 3);
+        assert_eq!(root.children_named("job").count(), 2);
+        let uses = &root.children[0].children[0];
+        assert_eq!(uses.attr("file"), Some("f & g"));
+        assert_eq!(root.children[2].children[0].attr("ref"), Some("a"));
+    }
+
+    #[test]
+    fn entity_and_char_refs_decode() {
+        let root = parse_xml(r#"<a v="&lt;&gt;&quot;&apos;&#65;&#x42;"/>"#).unwrap();
+        assert_eq!(root.attr("v"), Some("<>\"'AB"));
+        assert!(parse_xml(r#"<a v="&bogus;"/>"#).is_err());
+        assert!(parse_xml(r#"<a v="&#xD800;"/>"#).is_err());
+        assert!(parse_xml(r#"<a v="&amp"/>"#).is_err());
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        for bad in [
+            "",
+            "   ",
+            "<a>",
+            "<a></b>",
+            "<a",
+            "<a x=1/>",
+            "<a x='1' x='2'/>",
+            "<a/><b/>",
+            "<a>text",
+            "<!-- unterminated",
+            "<a><!-- unterminated </a>",
+            "junk <a/>",
+            "<a/>junk",
+            "<a x='<'/>",
+        ] {
+            assert!(parse_xml(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let open: String = (0..MAX_DEPTH + 1).map(|i| format!("<n{i}>")).collect();
+        let close: String = (0..MAX_DEPTH + 1)
+            .rev()
+            .map(|i| format!("</n{i}>"))
+            .collect();
+        let doc = open + &close;
+        let e = parse_xml(&doc).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+    }
+}

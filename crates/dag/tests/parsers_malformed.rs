@@ -1,0 +1,95 @@
+//! Totality of the trace parsers: no input — truncated, mutated, or
+//! garbage — may panic. Every fixture is swept with byte truncations and
+//! single-byte mutations; each variant must come back as `Ok` or a
+//! [`ParseError`](robusched_dag::parsers::ParseError), reaching neither a
+//! panic nor an abort. (The sweeps run the *parser* only; validation in
+//! `TraceBuilder::finish` — cycles, duplicates, zero work — is what keeps
+//! the panicking `Dag`/`TaskGraph` constructors out of reach.)
+
+use robusched_dag::parsers::{parse_trace, TraceDag};
+
+const FIXTURES: [(&str, &str); 3] = [
+    (
+        "montage-like.dax",
+        include_str!("../../../tests/data/traces/montage-like.dax"),
+    ),
+    (
+        "epigenomics-like.json",
+        include_str!("../../../tests/data/traces/epigenomics-like.json"),
+    ),
+    (
+        "cybershake-like.dot",
+        include_str!("../../../tests/data/traces/cybershake-like.dot"),
+    ),
+];
+
+#[test]
+fn committed_fixtures_parse() {
+    for (file, content) in FIXTURES {
+        let trace: TraceDag = parse_trace(file, content).unwrap_or_else(|e| {
+            panic!("fixture {file} must parse: {e}");
+        });
+        assert_eq!(trace.task_count(), 20, "{file}");
+        assert!(trace.edge_count() >= 19, "{file}");
+        assert!(trace.total_flops() > 0.0, "{file}");
+        assert!(trace.total_bytes() > 0.0, "{file}");
+        // The conversion is well-defined for every committed fixture.
+        let graph = trace.to_task_graph();
+        assert_eq!(graph.task_count(), 20, "{file}");
+        assert!(graph.realized_ccr() > 0.0, "{file}");
+    }
+}
+
+/// Every prefix of every fixture parses or errors — never panics. Parsers
+/// see truncated files whenever a download or copy is cut short.
+#[test]
+fn byte_truncations_never_panic() {
+    for (file, content) in FIXTURES {
+        for cut in 0..content.len() {
+            if !content.is_char_boundary(cut) {
+                continue;
+            }
+            let variant = &content[..cut];
+            // Outcome irrelevant; surviving the call is the property.
+            let _ = parse_trace(file, variant);
+        }
+    }
+}
+
+/// Every single-byte mutation of every fixture parses or errors — never
+/// panics. Mutations that break UTF-8 are skipped (`parse_trace` takes
+/// `&str`, so the type system already excludes them).
+#[test]
+fn single_byte_mutations_never_panic() {
+    // A byte alphabet that exercises every tokenizer family: structure
+    // characters, quotes, escapes, digits, minus, whitespace, NUL, DEL,
+    // and a high bit pattern (usually breaking UTF-8 — then skipped).
+    const ALPHABET: [u8; 16] = [
+        b'<', b'>', b'{', b'}', b'[', b']', b'"', b'\\', b'0', b'9', b'-', b'.', b' ', b'\n', 0x00,
+        0xFF,
+    ];
+    for (file, content) in FIXTURES {
+        let bytes = content.as_bytes();
+        for pos in 0..bytes.len() {
+            for &b in &ALPHABET {
+                if bytes[pos] == b {
+                    continue;
+                }
+                let mut mutated = bytes.to_vec();
+                mutated[pos] = b;
+                let Ok(variant) = String::from_utf8(mutated) else {
+                    continue;
+                };
+                let _ = parse_trace(file, &variant);
+            }
+        }
+    }
+}
+
+/// Unknown extensions and extension-less names error cleanly.
+#[test]
+fn unknown_extensions_rejected() {
+    for name in ["trace.yaml", "trace", "", "trace.DAX.bak"] {
+        assert!(parse_trace(name, "digraph g { a -> b }").is_err(), "{name}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the trace writers and parsers: a random trace
+//! serialized through [`write_dot`] / [`write_wfcommons`] and parsed back
+//! must be isomorphic to the original — same task set (by name), same
+//! edge set (by endpoint names), flops and byte volumes preserved to
+//! ≤ 1e-12 relative error — and the [`TraceDag::to_task_graph`]
+//! conversion must be a pure function of the trace.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use robusched_dag::parsers::dot::{parse_dot, write_dot};
+use robusched_dag::parsers::wfcommons::{parse_wfcommons, write_wfcommons};
+use robusched_dag::parsers::TraceDag;
+
+/// Builds a random trace by generating a random layered DOT document and
+/// parsing it: `n` tasks, forward edges `i → j` (i < j) with probability
+/// `density`, weights log-uniform across several orders of magnitude. At
+/// least one edge and nonzero work are guaranteed so the builder accepts.
+fn random_trace(n: usize, density: f64, seed: u64) -> TraceDag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut doc = String::from("digraph random {\n");
+    for v in 0..n {
+        let flops = 10f64.powf(rng.gen_range(6.0..12.0));
+        doc.push_str(&format!("  t{v} [size=\"{flops}\"];\n"));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let forced = j == i + 1 && i == 0; // connectivity floor
+            if forced || rng.gen_bool(density) {
+                let bytes = 10f64.powf(rng.gen_range(3.0..9.0));
+                doc.push_str(&format!("  t{i} -> t{j} [size=\"{bytes}\"];\n"));
+            }
+        }
+    }
+    doc.push_str("}\n");
+    parse_dot(&doc, "random").expect("generated DOT is valid")
+}
+
+/// Relative-error isomorphism between two traces.
+fn assert_isomorphic(a: &TraceDag, b: &TraceDag) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.task_count(), b.task_count());
+    prop_assert_eq!(a.edge_count(), b.edge_count());
+    for v in 0..a.task_count() {
+        let name = a.task_name(v);
+        let bv = match b.task_id(name) {
+            Some(bv) => bv,
+            None => return Err(TestCaseError::fail(format!("task '{name}' lost"))),
+        };
+        let (fa, fb) = (a.tasks[v].flops, b.tasks[bv].flops);
+        prop_assert!(
+            (fa - fb).abs() <= 1e-12 * fa.abs().max(1.0),
+            "flops of '{}' drifted: {} vs {}",
+            name,
+            fa,
+            fb
+        );
+    }
+    for e in 0..a.edge_count() {
+        let (u, v) = a.dag.edge_endpoints(e);
+        let bu = b.task_id(a.task_name(u)).expect("endpoint survives");
+        let bv = b.task_id(a.task_name(v)).expect("endpoint survives");
+        let be = match b.dag.edge_between(bu, bv) {
+            Some(be) => be,
+            None => {
+                return Err(TestCaseError::fail(format!(
+                    "edge {} -> {} lost",
+                    a.task_name(u),
+                    a.task_name(v)
+                )))
+            }
+        };
+        let (ba, bb) = (a.edge_bytes[e], b.edge_bytes[be]);
+        prop_assert!(
+            (ba - bb).abs() <= 1e-12 * ba.abs().max(1.0),
+            "bytes of {} -> {} drifted: {} vs {}",
+            a.task_name(u),
+            a.task_name(v),
+            ba,
+            bb
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn dot_roundtrip_is_isomorphic(
+        n in 2usize..24,
+        density in 0.05f64..0.6,
+        seed in 0u64..10_000,
+    ) {
+        let trace = random_trace(n, density, seed);
+        let re = parse_dot(&write_dot(&trace), "re").expect("written DOT parses");
+        assert_isomorphic(&trace, &re)?;
+        // DOT writes shortest-roundtrip f64 literals: bit-exact, not just
+        // within tolerance.
+        for v in 0..trace.task_count() {
+            let rv = re.task_id(trace.task_name(v)).unwrap();
+            prop_assert_eq!(trace.tasks[v].flops.to_bits(), re.tasks[rv].flops.to_bits());
+        }
+    }
+
+    #[test]
+    fn wfcommons_roundtrip_is_isomorphic(
+        n in 2usize..24,
+        density in 0.05f64..0.6,
+        seed in 10_000u64..20_000,
+    ) {
+        let trace = random_trace(n, density, seed);
+        let re = parse_wfcommons(&write_wfcommons(&trace), "re")
+            .expect("written WfCommons parses");
+        assert_isomorphic(&trace, &re)?;
+    }
+
+    #[test]
+    fn task_graph_conversion_is_deterministic(
+        n in 2usize..16,
+        density in 0.05f64..0.5,
+        seed in 20_000u64..30_000,
+    ) {
+        let trace = random_trace(n, density, seed);
+        let a = trace.to_task_graph();
+        let b = trace.to_task_graph();
+        prop_assert_eq!(&a.task_work, &b.task_work);
+        prop_assert_eq!(&a.comm_volume, &b.comm_volume);
+        // The unit convention normalizes mean work to the paper's scale.
+        let mean = a.task_work.iter().sum::<f64>() / a.task_count() as f64;
+        prop_assert!((mean - 20.0).abs() < 1e-9, "mean work {}", mean);
+        // And round-tripping the trace yields the same task graph.
+        let re = parse_dot(&write_dot(&trace), "re").expect("written DOT parses");
+        let c = re.to_task_graph();
+        prop_assert_eq!(&a.task_work.len(), &c.task_work.len());
+        let rename: Vec<usize> = (0..trace.task_count())
+            .map(|v| re.task_id(trace.task_name(v)).unwrap())
+            .collect();
+        for (v, &r) in rename.iter().enumerate() {
+            prop_assert_eq!(a.task_work[v].to_bits(), c.task_work[r].to_bits());
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! | [`apps`] | scenario diversity beyond the future-work list: the metric-correlation study on structured application DAGs (Cholesky, LU, FFT, stencil, fork-join) |
 //! | [`backends`] | robustness of the §VI conclusion itself: the correlation protocol re-run under every registered makespan evaluator (classic, Spelde, Dodin, Monte-Carlo) |
 //! | [`mc_convergence`] | the cost of the ground truth: realization-budget convergence of σ/L/h per Monte-Carlo estimator (plain, antithetic, stratified) vs the classic baseline |
+//! | [`traces`] | scenario realism beyond generators: the correlation protocol on ingested real-workflow traces (DAX / WfCommons / DOT) |
 
 pub mod apps;
 pub mod backends;
@@ -18,4 +19,5 @@ pub mod grid_resolution;
 pub mod mc_convergence;
 pub mod pareto;
 pub mod sigma_heuristic;
+pub mod traces;
 pub mod var_ul;

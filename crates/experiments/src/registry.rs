@@ -74,7 +74,7 @@ fn run_fig6(opts: &RunOptions) -> std::io::Result<String> {
     Ok(figs::fig6::render(&f))
 }
 
-static REGISTRY: [ExperimentEntry; 19] = [
+static REGISTRY: [ExperimentEntry; 20] = [
     ExperimentEntry {
         name: "fig1",
         about: "KS/CM accuracy of the independence assumption vs graph size",
@@ -179,6 +179,12 @@ static REGISTRY: [ExperimentEntry; 19] = [
         run: |o| Ok(ext::mc_convergence::render(&ext::mc_convergence::run(o)?)),
     },
     ExperimentEntry {
+        name: "ext-traces",
+        about: "metric correlations on ingested real-workflow traces (DAX/WfCommons/DOT)",
+        group: ExperimentGroup::Extension,
+        run: |o| Ok(ext::traces::render(&ext::traces::run(o)?)),
+    },
+    ExperimentEntry {
         name: "serve",
         about: "line-delimited JSON evaluation server over stdin/stdout (EvalService)",
         group: ExperimentGroup::Service,
@@ -232,10 +238,10 @@ mod tests {
     #[test]
     fn every_entry_resolvable_and_unique() {
         let mut names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.len(), 20);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 19, "duplicate experiment names");
+        assert_eq!(names.len(), 20, "duplicate experiment names");
         for e in registry() {
             let found = experiment_by_name(e.name()).expect("resolvable");
             assert_eq!(found.name(), e.name());
@@ -259,7 +265,7 @@ mod tests {
             .filter(|e| e.group() == ExperimentGroup::Service)
             .count();
         assert_eq!(figures, 9);
-        assert_eq!(extensions, 8);
+        assert_eq!(extensions, 9);
         assert_eq!(service, 2);
     }
 

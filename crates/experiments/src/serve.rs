@@ -5,8 +5,9 @@
 //! line-delimited JSON over stdin/stdout — one request object per line, one
 //! response object per line, responses strictly in request order (the
 //! service's reorder-buffer discipline carries through to the wire).
-//! There is no `serde` in this workspace, so the protocol uses a small
-//! hand-rolled recursive-descent JSON parser ([`Json`]).
+//! There is no `serde` in this workspace, so the protocol uses the
+//! hand-rolled recursive-descent JSON parser ([`Json`]) shared with the
+//! trace-ingestion layer (`robusched_dag::parsers::json`).
 //!
 //! Request shape (`id` is echoed verbatim; `metrics` optionally filters
 //! which fields the response carries):
@@ -19,9 +20,12 @@
 //!  "metrics": ["expected_makespan", "makespan_std"]}
 //! ```
 //!
-//! Scenario families: `paper-random` (the paper's layered random DAGs) and
+//! Scenario families: `paper-random` (the paper's layered random DAGs),
 //! `app` (structured applications: `"class"` ∈ cholesky, lu, fft, stencil,
-//! forkjoin, plus `"speed_cov"`). Schedules: `{"kind": "heuristic",
+//! forkjoin, plus `"speed_cov"`), and `trace` (a committed sample workflow
+//! trace: `"trace"` ∈ montage-like, epigenomics-like, cybershake-like,
+//! plus `"speed_cov"`; no `"n"` — the trace fixes the size). Schedules:
+//! `{"kind": "heuristic",
 //! "name": ...}` (any [`robusched_sched::heuristic_by_name`] entry) or
 //! `{"kind": "random", "seed": N}`. The front end interns scenarios by
 //! their canonical spec, so repeated specs share one [`Scenario`] `Arc`
@@ -48,270 +52,15 @@ use std::sync::Arc;
 use std::time::Instant;
 
 // ---------------------------------------------------------------------------
-// Minimal JSON
+// Minimal JSON — shared with the trace-ingestion layer
 // ---------------------------------------------------------------------------
 
-/// A parsed JSON value. Objects preserve key order (no hashing needed at
-/// protocol sizes); numbers are always `f64`, as in JavaScript.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any number.
-    Num(f64),
-    /// A string (unescaped).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Object field lookup.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    fn as_usize(&self) -> Option<usize> {
-        let v = self.as_f64()?;
-        (v.fract() == 0.0 && v >= 0.0 && v <= u32::MAX as f64).then_some(v as usize)
-    }
-
-    fn as_u64(&self) -> Option<u64> {
-        let v = self.as_f64()?;
-        (v.fract() == 0.0 && (0.0..=9.007_199_254_740_992e15).contains(&v)).then_some(v as u64)
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-/// Parses one JSON document (trailing whitespace allowed, trailing garbage
-/// rejected).
-pub fn parse_json(input: &str) -> Result<Json, String> {
-    let bytes = input.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing characters at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = match parse_value(b, pos)? {
-                    Json::Str(s) => s,
-                    _ => return Err("object keys must be strings".into()),
-                };
-                skip_ws(b, pos);
-                if b.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}"));
-                }
-                *pos += 1;
-                fields.push((key, parse_value(b, pos)?));
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(fields));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => parse_string(b, pos).map(Json::Str),
-        Some(b't') => parse_keyword(b, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_keyword(b, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_keyword(b, pos, "null", Json::Null),
-        Some(_) => parse_number(b, pos),
-    }
-}
-
-fn parse_keyword(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
-    if b[*pos..].starts_with(word.as_bytes()) {
-        *pos += word.len();
-        Ok(value)
-    } else {
-        Err(format!("invalid literal at byte {pos}"))
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    *pos += 1; // opening quote
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")
-                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))
-                            .map_err(str::to_string)?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| "bad \\u escape".to_string())?;
-                        // Surrogate pairs are out of scope for this protocol;
-                        // map unpaired surrogates to the replacement char.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err("invalid escape".into()),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Copy the full UTF-8 scalar starting here.
-                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid UTF-8".to_string())?;
-                let ch = s.chars().next().unwrap();
-                out.push(ch);
-                *pos += ch.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-        *pos += 1;
-    }
-    std::str::from_utf8(&b[start..*pos])
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .filter(|v| v.is_finite())
-        .map(Json::Num)
-        .ok_or_else(|| format!("invalid number at byte {start}"))
-}
-
-/// Serializes a value back to compact JSON (non-finite numbers → `null`).
-pub fn write_json(value: &Json, out: &mut String) {
-    match value {
-        Json::Null => out.push_str("null"),
-        Json::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
-        Json::Num(v) => push_number(*v, out),
-        Json::Str(s) => push_string(s, out),
-        Json::Arr(items) => {
-            out.push('[');
-            for (i, item) in items.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                write_json(item, out);
-            }
-            out.push(']');
-        }
-        Json::Obj(fields) => {
-            out.push('{');
-            for (i, (k, v)) in fields.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                push_string(k, out);
-                out.push(':');
-                write_json(v, out);
-            }
-            out.push('}');
-        }
-    }
-}
-
-fn push_number(v: f64, out: &mut String) {
-    if v.is_finite() {
-        out.push_str(&format!("{v}"));
-    } else {
-        out.push_str("null");
-    }
-}
-
-fn push_string(s: &str, out: &mut String) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+/// The protocol's JSON value type and (de)serializers. The hand-rolled
+/// recursive-descent parser originally lived here; it moved to
+/// `robusched_dag::parsers::json` so the WfCommons trace reader can share
+/// it. The re-export keeps the historical
+/// `crate::serve::{Json, parse_json, write_json}` paths valid.
+pub use robusched_dag::parsers::json::{parse_json, write_json, Json};
 
 // ---------------------------------------------------------------------------
 // Request decoding
@@ -375,18 +124,29 @@ impl ScenarioInterner {
             .get("seed")
             .and_then(Json::as_u64)
             .ok_or("scenario.seed must be a non-negative integer")?;
-        let n = spec
-            .get("n")
-            .and_then(Json::as_usize)
-            .filter(|&n| n >= 1)
-            .ok_or("scenario.n must be a positive integer")?;
+        // `n` is family-specific: the generator families size their graphs
+        // with it, the `trace` family gets its size from the trace file.
+        let parse_n = || {
+            spec.get("n")
+                .and_then(Json::as_usize)
+                .filter(|&n| n >= 1)
+                .ok_or("scenario.n must be a positive integer")
+        };
+        let parse_speed_cov = || {
+            spec.get("speed_cov")
+                .and_then(Json::as_f64)
+                .filter(|v| (0.0..10.0).contains(v))
+                .ok_or("scenario.speed_cov must be a number in [0, 10)")
+        };
         let key;
         let build: Box<dyn FnOnce() -> Scenario> = match family {
             "paper-random" => {
+                let n = parse_n()?;
                 key = format!("paper-random/{n}/{m}/{}/{seed}", ul.to_bits());
                 Box::new(move || Scenario::paper_random(n, m, ul, seed))
             }
             "app" => {
+                let n = parse_n()?;
                 let class_name = spec
                     .get("class")
                     .and_then(Json::as_str)
@@ -395,11 +155,7 @@ impl ScenarioInterner {
                     .into_iter()
                     .find(|c| c.name() == class_name)
                     .ok_or_else(|| format!("unknown application class '{class_name}'"))?;
-                let speed_cov = spec
-                    .get("speed_cov")
-                    .and_then(Json::as_f64)
-                    .filter(|v| (0.0..10.0).contains(v))
-                    .ok_or("scenario.speed_cov must be a number in [0, 10)")?;
+                let speed_cov = parse_speed_cov()?;
                 key = format!(
                     "app/{}/{n}/{m}/{}/{}/{seed}",
                     class.name(),
@@ -409,6 +165,22 @@ impl ScenarioInterner {
                 Box::new(move || {
                     Scenario::structured_app(class.generate(n, seed), m, speed_cov, ul, seed)
                 })
+            }
+            "trace" => {
+                let trace_name = spec
+                    .get("trace")
+                    .and_then(Json::as_str)
+                    .ok_or("scenario.trace must be a string")?;
+                let trace = crate::ext::traces::sample_trace(trace_name)
+                    .ok_or_else(|| format!("unknown sample trace '{trace_name}'"))?;
+                let speed_cov = parse_speed_cov()?;
+                key = format!(
+                    "trace/{}/{m}/{}/{}/{seed}",
+                    trace.name,
+                    speed_cov.to_bits(),
+                    ul.to_bits()
+                );
+                Box::new(move || Scenario::from_trace(&trace, m, speed_cov, ul, seed))
             }
             other => return Err(format!("unknown scenario family '{other}'")),
         };
@@ -806,6 +578,44 @@ mod tests {
             other => panic!("expected object, got {other:?}"),
         }
         assert_eq!(lines[3].get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn trace_family_requests_evaluate() {
+        let input = concat!(
+            r#"{"id": 1, "scenario": {"family": "trace", "trace": "montage-like", "m": 4, "speed_cov": 0.5, "ul": 1.1, "seed": 3}, "schedule": {"kind": "heuristic", "name": "heft"}, "metrics": ["expected_makespan"]}"#,
+            "\n",
+            r#"{"id": 2, "scenario": {"family": "trace", "trace": "montage-like", "m": 4, "speed_cov": 0.5, "ul": 1.1, "seed": 3}, "schedule": {"kind": "heuristic", "name": "heft"}, "metrics": ["expected_makespan"]}"#,
+            "\n",
+            r#"{"id": 3, "scenario": {"family": "trace", "trace": "ligo-like", "m": 4, "speed_cov": 0.5, "ul": 1.1, "seed": 3}, "schedule": {"kind": "random", "seed": 1}}"#,
+            "\n",
+        );
+        let mut output = Vec::new();
+        let opts = RunOptions {
+            threads: Some(2),
+            out_dir: None,
+            ..Default::default()
+        };
+        serve_streams(input.as_bytes(), &mut output, &opts).unwrap();
+        let lines: Vec<Json> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| parse_json(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].get("ok"), Some(&Json::Bool(true)));
+        let makespan = lines[0]
+            .get("metrics")
+            .unwrap()
+            .get("expected_makespan")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(makespan > 0.0);
+        // The repeated spec is interned + result-cached.
+        assert_eq!(lines[1].get("cache_hit"), Some(&Json::Bool(true)));
+        // Unknown trace names error in-stream.
+        assert_eq!(lines[2].get("ok"), Some(&Json::Bool(false)));
     }
 
     #[test]

@@ -129,6 +129,26 @@ impl Scenario {
         Self::new(graph, platform, costs, UncertaintyModel::paper(ul))
     }
 
+    /// The real-workflow-trace (`ext-traces`) case: a parsed trace
+    /// ([`robusched_dag::parsers::TraceDag`] from a DAX / WfCommons / DOT
+    /// file), converted to a [`TaskGraph`] under the trace layer's
+    /// reference-platform unit convention (mean work normalized to the
+    /// paper's `μ_task = 20`, the trace's realized CCR preserved), then
+    /// costed exactly like [`Scenario::structured_app`]: consistent
+    /// heterogeneity with speed CV `speed_cov`, 10 % unrelatedness noise,
+    /// unit-τ zero-latency network, Beta(2, 5) uncertainty at level `ul`.
+    /// Seed-deterministic: the same trace + `(m, speed_cov, ul, seed)`
+    /// reproduces the scenario bit for bit.
+    pub fn from_trace(
+        trace: &robusched_dag::parsers::TraceDag,
+        m: usize,
+        speed_cov: f64,
+        ul: f64,
+        seed: u64,
+    ) -> Self {
+        Self::structured_app(trace.to_task_graph(), m, speed_cov, ul, seed)
+    }
+
     /// Number of tasks.
     pub fn task_count(&self) -> usize {
         self.graph.task_count()
@@ -267,6 +287,28 @@ mod tests {
             wins.iter().any(|&w| w >= 12),
             "no dominant machine: {wins:?}"
         );
+    }
+
+    #[test]
+    fn from_trace_case() {
+        let dot = r#"digraph t {
+          a [size="4e9"]; b [size="8e9"]; c [size="2e9"];
+          a -> b [size="1e9"]; b -> c [size="5e8"];
+        }"#;
+        let trace = robusched_dag::parsers::parse_trace("t.dot", dot).unwrap();
+        let s = Scenario::from_trace(&trace, 4, 0.5, 1.1, 11);
+        assert_eq!(s.task_count(), 3);
+        assert_eq!(s.machine_count(), 4);
+        // Mean work lands on the paper's μ_task = 20.
+        let mean_work: f64 = s.graph.task_work.iter().sum::<f64>() / s.graph.task_count() as f64;
+        assert!((mean_work - 20.0).abs() < 1e-9, "mean work {mean_work}");
+        // Deterministic in the seed.
+        let t = Scenario::from_trace(&trace, 4, 0.5, 1.1, 11);
+        for i in 0..3 {
+            for p in 0..4 {
+                assert_eq!(s.det_task_cost(i, p), t.det_task_cost(i, p));
+            }
+        }
     }
 
     #[test]

@@ -76,6 +76,12 @@ pub fn scenario_fingerprint(scenario: &Scenario) -> u64 {
         }
     }
     for edge in 0..e {
+        // Endpoints included: trace-derived scenarios can share n/m/e and
+        // every weight while wiring the edges differently, and rewiring
+        // changes which (pu, pv) pairs a schedule exercises.
+        let (u, v) = scenario.graph.dag.edge_endpoints(edge);
+        mix(u as u64);
+        mix(v as u64);
         mix(scenario.graph.volume(edge).to_bits());
     }
     for p in 0..m {
@@ -323,6 +329,24 @@ mod tests {
         // Same shape, per-task ULs installed.
         let varied = Scenario::paper_random(10, 3, 1.1, 5).with_per_task_ul(vec![1.2; 10]);
         assert!(!cache.matches(&varied));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_edge_wiring() {
+        // Same n/m/e, same task works, same edge volumes, same platform and
+        // uncertainty — only the edge *endpoints* differ (chain vs fork).
+        // Weight-only fingerprints collide here; trace-derived scenarios
+        // make this shape of near-collision common.
+        let chain = r#"digraph t { a [size="4e9"]; b [size="8e9"]; c [size="2e9"];
+          a -> b [size="1e9"]; b -> c [size="1e9"]; }"#;
+        let fork = r#"digraph t { a [size="4e9"]; b [size="8e9"]; c [size="2e9"];
+          a -> b [size="1e9"]; a -> c [size="1e9"]; }"#;
+        let parse = |src| robusched_dag::parsers::parse_trace("t.dot", src).unwrap();
+        let a = Scenario::from_trace(&parse(chain), 3, 0.5, 1.1, 7);
+        let b = Scenario::from_trace(&parse(fork), 3, 0.5, 1.1, 7);
+        assert_eq!(a.graph.task_work, b.graph.task_work);
+        assert_eq!(a.graph.comm_volume, b.graph.comm_volume);
+        assert_ne!(scenario_fingerprint(&a), scenario_fingerprint(&b));
     }
 
     #[test]
