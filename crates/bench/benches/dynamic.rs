@@ -1,0 +1,42 @@
+//! Arrival-driven executor benchmarks: the `dynamic/*` group.
+//!
+//! Three end-to-end simulations over the `ext-dynamic` workload pool
+//! (mixed structured applications + real-workflow traces, 8 machines),
+//! 40 instances each at 2× nominal load:
+//!
+//! * `sim-never` — the bare event loop: heap discipline, dispatch, DAG
+//!   propagation, no distribution machinery at all;
+//! * `sim-reap` — adds deadline events and mid-flight reaping;
+//! * `sim-prune` — the expensive path: remaining-distribution tables are
+//!   built per scenario fingerprint and every dispatch pays a CDF query.
+//!
+//! `scripts/bench_diff.py` gates regressions on all three, so the policy
+//! overhead (prune vs never) stays an explicit, tracked quantity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robusched_dynamic::{policy_by_spec, DynamicSim, PoissonStream, SimConfig};
+use robusched_experiments::ext::dynamic::{mean_instance_work, workload_pool};
+use std::hint::black_box;
+
+fn dynamic_sims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamic");
+    let pool = workload_pool(7);
+    let machines = pool[0].machine_count() as f64;
+    let rate = 2.0 * machines / mean_instance_work(&pool);
+
+    for spec in ["never", "reap", "prune@0.5"] {
+        let policy = policy_by_spec(spec).expect("valid policy spec");
+        let label = format!("sim-{}", spec.split('@').next().unwrap());
+        g.bench_function(&label, |b| {
+            b.iter(|| {
+                let mut stream = PoissonStream::new(pool.clone(), rate, 40, 99);
+                let sim = DynamicSim::new(policy.as_ref(), SimConfig::default());
+                black_box(sim.run(&mut stream).expect("simulation succeeds"))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, dynamic_sims);
+criterion_main!(benches);

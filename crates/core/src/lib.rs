@@ -39,7 +39,7 @@ pub mod study;
 
 pub use metrics::{
     compute_metrics, distribution_stats, metric_index, DistributionStats, MetricOptions,
-    MetricValues, METRIC_LABELS,
+    MetricValues, OnlineMetrics, METRIC_LABELS,
 };
 pub use optimize::{pareto_search, ParetoPoint, SearchConfig};
 pub use service::{

@@ -197,6 +197,86 @@ pub fn slack_metrics(
     (mean(&slacks), population_std(&slacks), slacks.iter().sum())
 }
 
+/// Online robustness counters of one dynamic (arrival-driven) run — the
+/// metric family the 2007 paper's offline setting cannot express. Filled by
+/// `robusched-dynamic`'s executor; the derived rates below are the
+/// quantities the `ext-dynamic` study sweeps (deadline hit-rates, wasted
+/// work, utilization — cf. the task-dropping literature, arXiv 2005.11050 /
+/// 1901.09312).
+///
+/// All counters are plain sums over the run, so two runs with identical
+/// event streams produce bit-identical values.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineMetrics {
+    /// Workflow instances that arrived.
+    pub instances: usize,
+    /// Instances accepted by the drop policy's admission check.
+    pub admitted: usize,
+    /// Instances that ran every task to completion.
+    pub completed: usize,
+    /// Completed instances that finished at or before their deadline.
+    pub workflows_met: usize,
+    /// Admitted instances abandoned mid-flight (pruned or reaped).
+    pub dropped: usize,
+    /// Instances refused at admission.
+    pub rejected: usize,
+    /// Tasks across all arrived instances.
+    pub tasks_total: usize,
+    /// Tasks that executed to completion.
+    pub tasks_completed: usize,
+    /// Completed tasks that finished at or before their instance deadline.
+    pub tasks_met: usize,
+    /// Total machine-time spent executing tasks.
+    pub busy_time: f64,
+    /// Machine-time spent on instances that never met their deadline
+    /// (dropped, reaped, or completed late) — the "wasted work" of the
+    /// task-dropping papers.
+    pub wasted_time: f64,
+    /// Simulated time from the first arrival to the last event.
+    pub horizon: f64,
+    /// Machines of the simulated platform.
+    pub machines: usize,
+}
+
+impl OnlineMetrics {
+    /// Fraction of *arrived* workflows that met their deadline (rejections
+    /// and drops count as misses — the denominator a dropping policy must
+    /// not be allowed to shrink).
+    pub fn workflow_hit_rate(&self) -> f64 {
+        if self.instances == 0 {
+            return 0.0;
+        }
+        self.workflows_met as f64 / self.instances as f64
+    }
+
+    /// Fraction of all arrived tasks that completed within their instance
+    /// deadline.
+    pub fn task_hit_rate(&self) -> f64 {
+        if self.tasks_total == 0 {
+            return 0.0;
+        }
+        self.tasks_met as f64 / self.tasks_total as f64
+    }
+
+    /// Fraction of executed machine-time that was wasted on instances that
+    /// missed their deadline.
+    pub fn wasted_fraction(&self) -> f64 {
+        if self.busy_time <= 0.0 {
+            return 0.0;
+        }
+        self.wasted_time / self.busy_time
+    }
+
+    /// Mean machine utilization over the simulated horizon.
+    pub fn utilization(&self) -> f64 {
+        let cap = self.machines as f64 * self.horizon;
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        self.busy_time / cap
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,5 +416,34 @@ mod tests {
         assert_eq!(m.prob_absolute, 1.0);
         assert_eq!(m.late_fraction, 0.0);
         assert_eq!(m.makespan_entropy, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn online_metrics_rates() {
+        let m = OnlineMetrics {
+            instances: 10,
+            admitted: 8,
+            completed: 6,
+            workflows_met: 5,
+            dropped: 2,
+            rejected: 2,
+            tasks_total: 100,
+            tasks_completed: 70,
+            tasks_met: 60,
+            busy_time: 80.0,
+            wasted_time: 20.0,
+            horizon: 25.0,
+            machines: 4,
+        };
+        assert_eq!(m.workflow_hit_rate(), 0.5);
+        assert_eq!(m.task_hit_rate(), 0.6);
+        assert_eq!(m.wasted_fraction(), 0.25);
+        assert_eq!(m.utilization(), 0.8);
+        // Degenerate denominators stay finite.
+        let z = OnlineMetrics::default();
+        assert_eq!(z.workflow_hit_rate(), 0.0);
+        assert_eq!(z.task_hit_rate(), 0.0);
+        assert_eq!(z.wasted_fraction(), 0.0);
+        assert_eq!(z.utilization(), 0.0);
     }
 }

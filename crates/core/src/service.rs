@@ -61,6 +61,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Configuration of an [`EvalService`].
 #[derive(Debug, Clone)]
@@ -76,6 +77,14 @@ pub struct ServiceConfig {
     pub result_capacity: usize,
     /// Maximum requests one worker coalesces into a single batch.
     pub max_batch: usize,
+    /// Time-to-live for cached scenario entries: an entry not touched
+    /// within this window is purged at the next cache probe (counted in
+    /// [`ServiceStats::ttl_evictions`]). Prepared state for a scenario a
+    /// client stopped sending can hold graphs, cost matrices and quantile
+    /// tables alive indefinitely under a pure LRU bound; a TTL returns that
+    /// memory on long-running servers. `None` disables the TTL (the LRU
+    /// capacity bound still applies).
+    pub scenario_ttl: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -85,6 +94,7 @@ impl Default for ServiceConfig {
             scenario_capacity: 64,
             result_capacity: 4096,
             max_batch: 64,
+            scenario_ttl: None,
         }
     }
 }
@@ -176,6 +186,10 @@ pub struct ServiceStats {
     pub scenario_misses: u64,
     /// Scenario entries evicted by the LRU bound.
     pub evictions: u64,
+    /// Scenario entries purged by [`ServiceConfig::scenario_ttl`].
+    pub ttl_evictions: u64,
+    /// Finished results evicted by the result-cache LRU bound.
+    pub result_evictions: u64,
     /// Requests answered without evaluating: result-cache hits plus
     /// in-flight coalesced duplicates.
     pub result_hits: u64,
@@ -222,6 +236,8 @@ struct ScenarioEntry {
     prepared: HashMap<String, PreparedScenario>,
     /// Last-touch stamp for LRU eviction.
     stamp: u64,
+    /// Last-touch wall time for TTL eviction.
+    touched: Instant,
 }
 
 #[derive(Default)]
@@ -248,6 +264,8 @@ struct Stats {
     scenario_hits: AtomicU64,
     scenario_misses: AtomicU64,
     evictions: AtomicU64,
+    ttl_evictions: AtomicU64,
+    result_evictions: AtomicU64,
     result_hits: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
@@ -523,6 +541,8 @@ impl EvalService {
             scenario_hits: s.scenario_hits.load(Ordering::Relaxed),
             scenario_misses: s.scenario_misses.load(Ordering::Relaxed),
             evictions: s.evictions.load(Ordering::Relaxed),
+            ttl_evictions: s.ttl_evictions.load(Ordering::Relaxed),
+            result_evictions: s.result_evictions.load(Ordering::Relaxed),
             result_hits: s.result_hits.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
             batched_requests: s.batched_requests.load(Ordering::Relaxed),
@@ -606,6 +626,27 @@ fn worker_loop(shared: &Shared) {
 /// cache lock; if another worker prepared the same (scenario, evaluator)
 /// concurrently, the first insertion wins so every later request shares
 /// one plan.
+/// Purges scenario entries staler than [`ServiceConfig::scenario_ttl`].
+/// Runs under the cache lock at every probe, so an idle scenario's memory
+/// is reclaimed the next time *any* request touches the cache.
+fn purge_stale_scenarios(shared: &Shared, caches: &mut CacheState) {
+    let Some(ttl) = shared.config.scenario_ttl else {
+        return;
+    };
+    let now = Instant::now();
+    let before = caches.scenarios.len();
+    caches
+        .scenarios
+        .retain(|_, entry| now.duration_since(entry.touched) < ttl);
+    let purged = (before - caches.scenarios.len()) as u64;
+    if purged > 0 {
+        shared
+            .stats
+            .ttl_evictions
+            .fetch_add(purged, Ordering::Relaxed);
+    }
+}
+
 fn prepared_for(
     shared: &Shared,
     fp: u64,
@@ -618,9 +659,11 @@ fn prepared_for(
             .caches
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        purge_stale_scenarios(shared, &mut caches);
         let stamp = caches.tick();
         if let Some(entry) = caches.scenarios.get_mut(&fp) {
             entry.stamp = stamp;
+            entry.touched = Instant::now();
             if let Some(prep) = entry.prepared.get(evaluator_key) {
                 shared.stats.scenario_hits.fetch_add(1, Ordering::Relaxed);
                 return (prep.clone(), true);
@@ -637,8 +680,10 @@ fn prepared_for(
     let entry = caches.scenarios.entry(fp).or_insert_with(|| ScenarioEntry {
         prepared: HashMap::new(),
         stamp,
+        touched: Instant::now(),
     });
     entry.stamp = stamp;
+    entry.touched = Instant::now();
     let prep = entry
         .prepared
         .entry(evaluator_key.to_string())
@@ -756,6 +801,10 @@ fn finish_job(shared: &Shared, job: &Job, result: EvalResult) {
                     match victim {
                         Some(k) => {
                             caches.results.remove(&k);
+                            shared
+                                .stats
+                                .result_evictions
+                                .fetch_add(1, Ordering::Relaxed);
                         }
                         None => break,
                     }
@@ -857,6 +906,69 @@ mod tests {
             assert_eq!(ticket, expect);
             assert!(result.is_ok());
         }
+    }
+
+    #[test]
+    fn zero_ttl_forces_repreparation() {
+        // TTL 0 means every probe finds the entry stale: the second
+        // request must purge, re-prepare, and count a TTL eviction.
+        let service = EvalService::new(ServiceConfig {
+            workers: Some(1),
+            scenario_ttl: Some(Duration::ZERO),
+            result_capacity: 0, // keep the result cache out of the way
+            ..Default::default()
+        });
+        let s = scenario(21);
+        for i in 0..3u64 {
+            let sched = random_schedule(&s.graph.dag, s.machine_count(), i);
+            service
+                .evaluate(EvalRequest::new(s.clone(), sched, "classic"))
+                .unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.scenario_hits, 0, "nothing survives a zero TTL");
+        assert_eq!(stats.scenario_misses, 3);
+        assert!(stats.ttl_evictions >= 2, "got {}", stats.ttl_evictions);
+        assert_eq!(service.cached_scenarios(), 1, "last entry still resident");
+    }
+
+    #[test]
+    fn generous_ttl_keeps_entries_warm() {
+        let service = EvalService::new(ServiceConfig {
+            workers: Some(1),
+            scenario_ttl: Some(Duration::from_secs(3600)),
+            result_capacity: 0,
+            ..Default::default()
+        });
+        let s = scenario(22);
+        for i in 0..3u64 {
+            let sched = random_schedule(&s.graph.dag, s.machine_count(), i);
+            service
+                .evaluate(EvalRequest::new(s.clone(), sched, "classic"))
+                .unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.scenario_misses, 1);
+        assert_eq!(stats.scenario_hits, 2);
+        assert_eq!(stats.ttl_evictions, 0);
+    }
+
+    #[test]
+    fn result_cache_evictions_are_counted() {
+        let service = EvalService::new(ServiceConfig {
+            workers: Some(1),
+            result_capacity: 1,
+            ..Default::default()
+        });
+        let s = scenario(23);
+        for i in 0..3u64 {
+            let sched = random_schedule(&s.graph.dag, s.machine_count(), i);
+            service
+                .evaluate(EvalRequest::new(s.clone(), sched, "classic"))
+                .unwrap();
+        }
+        // Capacity 1: the 2nd and 3rd insertions each evict the previous.
+        assert_eq!(service.stats().result_evictions, 2);
     }
 
     #[test]

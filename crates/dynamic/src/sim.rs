@@ -1,0 +1,737 @@
+//! The deterministic event-driven executor.
+//!
+//! [`DynamicSim`] runs a stream of arriving workflow instances over a
+//! shared machine pool. Each instance is scheduled in isolation by a
+//! registry heuristic (its [`robusched_sched::Schedule`] and
+//! [`EagerPlan`] are cached per distinct scenario), then *executed* under
+//! contention: machines are exclusive, and ready tasks of different
+//! instances queue per machine in deterministic
+//! `(ready time, instance, task)` order.
+//!
+//! ## Event-loop contract
+//!
+//! A binary-heap event queue keyed `(time, seq)` — `f64::total_cmp` on the
+//! time, a monotonic sequence number as the tiebreak — processes four
+//! event kinds: *arrival* (drawn lazily from the
+//! [`ArrivalStream`]; arrivals win ties against queued events),
+//! *task-ready*, *task-complete*, and *deadline-lapse*. Every tie is
+//! broken by an explicitly ordered key, never by iteration order of a
+//! hash container, so a run is a pure function of
+//! `(stream, policy, config)` — bit-identical across repeats, platforms
+//! and (for the study harness, which shards whole simulations) thread
+//! counts.
+//!
+//! ## Determinism of start dates
+//!
+//! All per-instance bookkeeping is kept in *relative* time (offsets from
+//! the instance's arrival) and converted to absolute time only for event
+//! stamps. The ready-time recurrence therefore performs literally the
+//! same floating-point operations as [`EagerPlan::execute`] whenever an
+//! instance runs without cross-instance contention — which is what makes
+//! the executor's makespans *exactly* (bit-for-bit) equal to the static
+//! eager executor's on spaced arrival streams (pinned by
+//! `tests/dynamic.rs`). Under contention a task additionally waits for
+//! its machine (`start = max(ready, machine free)`), which can only delay
+//! it.
+//!
+//! ## Dropping
+//!
+//! Execution is non-preemptive: when a policy abandons an instance, its
+//! *running* tasks complete (their machine time is spent — that is the
+//! wasted work the metrics account), but no new task of the instance
+//! starts and its queued entries are skipped lazily.
+
+use crate::policy::{DropPolicy, PolicyQuery};
+use crate::remaining::RemainingDists;
+use crate::stream::ArrivalStream;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use robusched_core::OnlineMetrics;
+use robusched_platform::Scenario;
+use robusched_randvar::{derive_seed, DEFAULT_GRID};
+use robusched_sched::{heuristic_by_name, EagerPlan, Schedule, ScheduleError};
+use robusched_stochastic::{scenario_fingerprint, DiscretizedScenario, SamplingTables};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Configuration of a dynamic run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Registry name of the per-instance scheduling heuristic.
+    pub heuristic: String,
+    /// Per-instance deadline: `arrival + factor × det_makespan` (the
+    /// deterministic isolated makespan under the heuristic's schedule).
+    pub deadline_factor: f64,
+    /// Master seed for duration sampling (instance `i` uses the derived
+    /// sub-seed `i + 1`).
+    pub seed: u64,
+    /// PDF grid resolution for the policy-query distributions.
+    pub grid: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            heuristic: "heft".into(),
+            deadline_factor: 1.5,
+            seed: 42,
+            grid: DEFAULT_GRID,
+        }
+    }
+}
+
+/// Why a run could not even start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The heuristic name did not resolve in the registry.
+    UnknownHeuristic(String),
+    /// The heuristic produced an invalid schedule for some scenario.
+    Schedule(ScheduleError),
+    /// An arriving scenario's machine count differs from the pool's (all
+    /// instances share one machine pool).
+    MachineMismatch {
+        /// Machines of the pool (fixed by the first arrival).
+        expected: usize,
+        /// Machines of the offending scenario.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownHeuristic(n) => write!(f, "unknown heuristic '{n}'"),
+            Self::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            Self::MachineMismatch { expected, got } => {
+                write!(f, "scenario has {got} machines, pool has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ScheduleError> for SimError {
+    fn from(e: ScheduleError) -> Self {
+        Self::Schedule(e)
+    }
+}
+
+/// The fate of one arrived instance.
+#[derive(Debug, Clone)]
+pub struct InstanceOutcome {
+    /// Arrival time.
+    pub arrival: f64,
+    /// Absolute deadline (`arrival + factor × det_makespan`).
+    pub deadline: f64,
+    /// Isolated deterministic makespan under the heuristic schedule.
+    pub det_makespan: f64,
+    /// Completion time, when every task ran to completion.
+    ///
+    /// This is `arrival + makespan` rounded once — for bit-level
+    /// comparisons use [`InstanceOutcome::makespan`], which carries the
+    /// executor's exact relative value (late arrivals make
+    /// `finish − arrival` a lossy round trip).
+    pub finish: Option<f64>,
+    /// The instance's span from arrival to completion, in the executor's
+    /// relative frame (bit-exact against `EagerPlan::execute` on
+    /// uncontended zero-uncertainty runs).
+    pub makespan: Option<f64>,
+    /// `false` when the admission check refused the instance.
+    pub admitted: bool,
+    /// `true` when the instance was abandoned mid-flight (pruned/reaped).
+    pub dropped: bool,
+    /// Task count of the instance.
+    pub tasks: usize,
+    /// Tasks that executed to completion.
+    pub tasks_completed: usize,
+    /// Completed tasks that finished at or before the deadline.
+    pub tasks_met: usize,
+    /// Machine-time the instance consumed.
+    pub executed_time: f64,
+}
+
+impl InstanceOutcome {
+    /// `true` when the whole workflow completed by its deadline.
+    pub fn met_deadline(&self) -> bool {
+        self.finish.is_some_and(|f| f <= self.deadline)
+    }
+}
+
+/// Result of one dynamic run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-instance fates, in arrival order.
+    pub outcomes: Vec<InstanceOutcome>,
+    /// Aggregated online robustness counters.
+    pub metrics: OnlineMetrics,
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+/// Cached per-scenario state, shared by every instance of the scenario.
+struct ScenarioState {
+    schedule: Schedule,
+    plan: EagerPlan,
+    det_makespan: f64,
+    tables: SamplingTables,
+    /// Policy-query distributions; `None` when the policy doesn't need
+    /// them (they cost a backward recursion per scenario).
+    dists: Option<RemainingDists>,
+}
+
+struct Instance {
+    state: Arc<ScenarioState>,
+    scenario: Arc<Scenario>,
+    arrival: f64,
+    deadline: f64,
+    /// Sampled task durations on the assigned machines.
+    task_dur: Vec<f64>,
+    /// Sampled communication delays on the assigned machine pairs
+    /// (`0` when co-located).
+    comm_dur: Vec<f64>,
+    /// Unfinished prerequisites per task (DAG preds + machine pred).
+    pending: Vec<usize>,
+    /// The eager ready-time recurrence value, relative to arrival.
+    ready_rel: Vec<f64>,
+    /// Finish times relative to arrival (`NAN` until the task completes).
+    finish_rel: Vec<f64>,
+    tasks_completed: usize,
+    tasks_met: usize,
+    executed_time: f64,
+    admitted: bool,
+    dropped: bool,
+    finish: Option<f64>,
+    makespan: Option<f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Ready {
+        inst: usize,
+        task: usize,
+    },
+    Finish {
+        inst: usize,
+        task: usize,
+        machine: usize,
+    },
+    DeadlineLapse {
+        inst: usize,
+    },
+}
+
+/// Heap key: earliest time first, then insertion order. `total_cmp` keeps
+/// the ordering total (no NaN panics) and bit-stable.
+struct Queued {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.time.total_cmp(&other.time).is_eq() && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A ready task waiting for its machine.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    ready_abs: f64,
+    ready_rel: f64,
+    inst: usize,
+    task: usize,
+    dur: f64,
+}
+
+struct Machine {
+    busy: bool,
+    busy_until: f64,
+    queue: Vec<QueueEntry>,
+}
+
+/// The executor. Construct once, [`run`](DynamicSim::run) a stream.
+pub struct DynamicSim<'p> {
+    config: SimConfig,
+    policy: &'p dyn DropPolicy,
+}
+
+impl<'p> DynamicSim<'p> {
+    /// An executor with the given policy and configuration.
+    pub fn new(policy: &'p dyn DropPolicy, config: SimConfig) -> Self {
+        Self { config, policy }
+    }
+
+    /// Runs `stream` to exhaustion and returns per-instance outcomes plus
+    /// the aggregated [`OnlineMetrics`].
+    pub fn run(&self, stream: &mut dyn ArrivalStream) -> Result<SimResult, SimError> {
+        let heuristic = heuristic_by_name(&self.config.heuristic)
+            .ok_or_else(|| SimError::UnknownHeuristic(self.config.heuristic.clone()))?;
+
+        let mut states: HashMap<u64, Arc<ScenarioState>> = HashMap::new();
+        let mut instances: Vec<Instance> = Vec::new();
+        let mut machines: Vec<Machine> = Vec::new();
+        let mut heap: BinaryHeap<Reverse<Queued>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut first_arrival: Option<f64> = None;
+        let mut last_time: f64 = 0.0;
+        let mut busy_time = 0.0f64;
+
+        let mut next_arrival = stream.next_arrival();
+        loop {
+            // Interleave arrivals with queued events; arrivals win ties so
+            // an admission decision always sees the backlog as of strictly
+            // earlier events.
+            let take_arrival = match (&next_arrival, heap.peek()) {
+                (Some(a), Some(Reverse(q))) => a.time.total_cmp(&q.time).is_le(),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_arrival {
+                let arrival = next_arrival.take().expect("checked above");
+                next_arrival = stream.next_arrival();
+                last_time = last_time.max(arrival.time);
+                first_arrival.get_or_insert(arrival.time);
+
+                let m = arrival.scenario.machine_count();
+                if machines.is_empty() {
+                    machines.resize_with(m, || Machine {
+                        busy: false,
+                        busy_until: 0.0,
+                        queue: Vec::new(),
+                    });
+                } else if machines.len() != m {
+                    return Err(SimError::MachineMismatch {
+                        expected: machines.len(),
+                        got: m,
+                    });
+                }
+
+                let fp = scenario_fingerprint(&arrival.scenario);
+                let state = match states.get(&fp) {
+                    Some(s) => s.clone(),
+                    None => {
+                        let schedule = heuristic.schedule(&arrival.scenario)?;
+                        let plan = EagerPlan::new(&arrival.scenario.graph.dag, &schedule)?;
+                        let det_makespan = plan
+                            .execute(
+                                &arrival.scenario.graph.dag,
+                                |v| arrival.scenario.det_task_cost(v, schedule.machine_of(v)),
+                                |e, u, v| {
+                                    arrival.scenario.det_comm_cost(
+                                        e,
+                                        schedule.machine_of(u),
+                                        schedule.machine_of(v),
+                                    )
+                                },
+                            )
+                            .makespan;
+                        let dists = self.policy.needs_distributions().then(|| {
+                            let disc =
+                                DiscretizedScenario::new(&arrival.scenario, self.config.grid);
+                            RemainingDists::build(&arrival.scenario, &schedule, &plan, &disc)
+                        });
+                        let state = Arc::new(ScenarioState {
+                            schedule,
+                            plan,
+                            det_makespan,
+                            tables: SamplingTables::new(&arrival.scenario),
+                            dists,
+                        });
+                        states.insert(fp, state.clone());
+                        state
+                    }
+                };
+
+                let idx = instances.len();
+                let deadline = arrival.time + self.config.deadline_factor * state.det_makespan;
+                let inst =
+                    self.admit_instance(arrival.scenario, state, arrival.time, deadline, idx);
+
+                let backlog = backlog_estimate(&machines, &instances, arrival.time);
+                let admitted = self.policy.admit(&PolicyQuery {
+                    now: arrival.time,
+                    arrival: arrival.time,
+                    deadline,
+                    backlog,
+                    total: inst.state.dists.as_ref().map(|d| &d.total),
+                    remaining: None,
+                });
+
+                instances.push(inst);
+                if !admitted {
+                    instances[idx].admitted = false;
+                    instances[idx].dropped = true;
+                    continue;
+                }
+                // Queue the entry tasks and arm the deadline reaper.
+                let n = instances[idx].pending.len();
+                for task in 0..n {
+                    if instances[idx].pending[task] == 0 {
+                        heap.push(Reverse(Queued {
+                            time: instances[idx].arrival,
+                            seq: post_inc(&mut seq),
+                            event: Event::Ready { inst: idx, task },
+                        }));
+                    }
+                }
+                if self.policy.reap_on_deadline() {
+                    heap.push(Reverse(Queued {
+                        time: deadline,
+                        seq: post_inc(&mut seq),
+                        event: Event::DeadlineLapse { inst: idx },
+                    }));
+                }
+                continue;
+            }
+
+            let Reverse(q) = heap.pop().expect("checked above");
+            last_time = last_time.max(q.time);
+            match q.event {
+                Event::Ready { inst, task } => {
+                    if instances[inst].dropped {
+                        continue;
+                    }
+                    let machine = instances[inst].state.schedule.machine_of(task);
+                    let entry = QueueEntry {
+                        ready_abs: q.time,
+                        ready_rel: instances[inst].ready_rel[task],
+                        inst,
+                        task,
+                        dur: instances[inst].task_dur[task],
+                    };
+                    machines[machine].queue.push(entry);
+                    self.dispatch(
+                        machine,
+                        q.time,
+                        &mut machines,
+                        &mut instances,
+                        &mut heap,
+                        &mut seq,
+                        &mut busy_time,
+                    );
+                }
+                Event::Finish {
+                    inst,
+                    task,
+                    machine,
+                } => {
+                    machines[machine].busy = false;
+                    let now = q.time;
+                    let i = &mut instances[inst];
+                    i.tasks_completed += 1;
+                    if now <= i.deadline {
+                        i.tasks_met += 1;
+                    }
+                    if !i.dropped {
+                        let finish_rel = i.finish_rel[task];
+                        // Propagate the eager recurrence to the gated tasks:
+                        // DAG successors (plus communication) and the next
+                        // task on the machine. Identical FP operations to
+                        // EagerPlan::execute in the relative frame.
+                        let dag = &i.scenario.graph.dag;
+                        let mut newly_ready: Vec<usize> = Vec::new();
+                        for &(s, e) in dag.succs(task) {
+                            let contrib = finish_rel + i.comm_dur[e];
+                            if contrib > i.ready_rel[s] {
+                                i.ready_rel[s] = contrib;
+                            }
+                            i.pending[s] -= 1;
+                            if i.pending[s] == 0 {
+                                newly_ready.push(s);
+                            }
+                        }
+                        if let Some(w) = i.state.plan.next_on_proc()[task] {
+                            if finish_rel > i.ready_rel[w] {
+                                i.ready_rel[w] = finish_rel;
+                            }
+                            i.pending[w] -= 1;
+                            if i.pending[w] == 0 {
+                                newly_ready.push(w);
+                            }
+                        }
+                        for s in newly_ready {
+                            heap.push(Reverse(Queued {
+                                time: i.arrival + i.ready_rel[s],
+                                seq: post_inc(&mut seq),
+                                event: Event::Ready { inst, task: s },
+                            }));
+                        }
+                        if i.tasks_completed == i.pending.len() {
+                            // Same fold as EagerPlan::execute's makespan.
+                            let makespan_rel = i.finish_rel.iter().copied().fold(0.0, f64::max);
+                            i.makespan = Some(makespan_rel);
+                            i.finish = Some(i.arrival + makespan_rel);
+                        }
+                    }
+                    self.dispatch(
+                        machine,
+                        now,
+                        &mut machines,
+                        &mut instances,
+                        &mut heap,
+                        &mut seq,
+                        &mut busy_time,
+                    );
+                }
+                Event::DeadlineLapse { inst } => {
+                    let i = &mut instances[inst];
+                    if i.finish.is_none() && !i.dropped {
+                        i.dropped = true;
+                    }
+                }
+            }
+        }
+
+        let machine_count = machines.len();
+        Ok(finalize(
+            instances,
+            machine_count,
+            first_arrival.unwrap_or(0.0),
+            last_time,
+            busy_time,
+        ))
+    }
+
+    /// Builds the per-instance state: deadline, sampled durations, eager
+    /// recurrence bookkeeping.
+    fn admit_instance(
+        &self,
+        scenario: Arc<Scenario>,
+        state: Arc<ScenarioState>,
+        arrival: f64,
+        deadline: f64,
+        idx: usize,
+    ) -> Instance {
+        let n = scenario.task_count();
+        let edges = scenario.graph.edge_count();
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.config.seed, idx as u64 + 1));
+        let base = state.tables.base();
+        // Fixed sampling order (tasks 0..n, then edges 0..e) with the
+        // Monte-Carlo engine's affine formula `w + (UL−1)·w·Q(u53)`. With
+        // no uncertainty (or zero weight) the duration is exactly the
+        // deterministic cost — the zero-uncertainty equivalence tests rely
+        // on this bit-level identity.
+        let sample = |w: f64, ul: f64, rng: &mut StdRng| -> f64 {
+            match base {
+                Some(table) if w > 0.0 && ul > 1.0 => {
+                    w + (ul - 1.0) * w * table.quantile_u53(rng.next_u64() >> 11)
+                }
+                _ => w,
+            }
+        };
+        let task_dur: Vec<f64> = (0..n)
+            .map(|v| {
+                let w = scenario.det_task_cost(v, state.schedule.machine_of(v));
+                sample(w, scenario.task_ul(v), &mut rng)
+            })
+            .collect();
+        let comm_dur: Vec<f64> = (0..edges)
+            .map(|e| {
+                let (u, v) = scenario.graph.dag.edge_endpoints(e);
+                let (pu, pv) = (state.schedule.machine_of(u), state.schedule.machine_of(v));
+                let w = scenario.det_comm_cost(e, pu, pv);
+                sample(w, scenario.uncertainty.ul, &mut rng)
+            })
+            .collect();
+        let pending: Vec<usize> = (0..n)
+            .map(|v| {
+                scenario.graph.dag.in_degree(v)
+                    + usize::from(state.plan.prev_on_proc()[v].is_some())
+            })
+            .collect();
+        Instance {
+            scenario,
+            state,
+            arrival,
+            deadline,
+            task_dur,
+            comm_dur,
+            pending,
+            ready_rel: vec![0.0; n],
+            finish_rel: vec![f64::NAN; n],
+            tasks_completed: 0,
+            tasks_met: 0,
+            executed_time: 0.0,
+            admitted: true,
+            dropped: false,
+            finish: None,
+            makespan: None,
+        }
+    }
+
+    /// Starts queued work on `machine` while it is free: pick the entry
+    /// with the least `(ready time, instance, task)` key, consult the
+    /// policy, and either start it or drop its instance and keep looking.
+    #[allow(clippy::too_many_arguments)] // the event loop's whole mutable state
+    fn dispatch(
+        &self,
+        machine: usize,
+        now: f64,
+        machines: &mut [Machine],
+        instances: &mut [Instance],
+        heap: &mut BinaryHeap<Reverse<Queued>>,
+        seq: &mut u64,
+        busy_time: &mut f64,
+    ) {
+        while !machines[machine].busy {
+            // Deterministic selection: least (ready_abs, inst, task).
+            let queue = &machines[machine].queue;
+            let Some(best) = queue
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.ready_abs
+                        .total_cmp(&b.ready_abs)
+                        .then(a.inst.cmp(&b.inst))
+                        .then(a.task.cmp(&b.task))
+                })
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+            let entry = machines[machine].queue.swap_remove(best);
+            if instances[entry.inst].dropped {
+                continue;
+            }
+            {
+                let i = &instances[entry.inst];
+                let keep = self.policy.keep_task(&PolicyQuery {
+                    now,
+                    arrival: i.arrival,
+                    deadline: i.deadline,
+                    backlog: 0.0,
+                    total: i.state.dists.as_ref().map(|d| &d.total),
+                    remaining: i.state.dists.as_ref().map(|d| &d.rem[entry.task]),
+                });
+                if !keep {
+                    instances[entry.inst].dropped = true;
+                    continue;
+                }
+            }
+            let i = &mut instances[entry.inst];
+            // Uncontended starts stay in the relative frame (the exact
+            // EagerPlan::execute operations); a contended start waits for
+            // the machine and is rebased once.
+            let finish_rel = if machines[machine].busy_until > entry.ready_abs {
+                (machines[machine].busy_until - i.arrival) + entry.dur
+            } else {
+                entry.ready_rel + entry.dur
+            };
+            i.finish_rel[entry.task] = finish_rel;
+            i.executed_time += entry.dur;
+            *busy_time += entry.dur;
+            let finish_abs = i.arrival + finish_rel;
+            machines[machine].busy = true;
+            machines[machine].busy_until = finish_abs;
+            heap.push(Reverse(Queued {
+                time: finish_abs,
+                seq: post_inc(seq),
+                event: Event::Finish {
+                    inst: entry.inst,
+                    task: entry.task,
+                    machine,
+                },
+            }));
+        }
+    }
+}
+
+#[inline]
+fn post_inc(seq: &mut u64) -> u64 {
+    let s = *seq;
+    *seq += 1;
+    s
+}
+
+/// Mean per-machine work ahead at `now`: running remainders plus queued
+/// sampled durations, averaged over the pool — the [`PolicyQuery::backlog`]
+/// estimate of the admission gate.
+fn backlog_estimate(machines: &[Machine], instances: &[Instance], now: f64) -> f64 {
+    if machines.is_empty() {
+        return 0.0;
+    }
+    let mut work = 0.0;
+    for m in machines {
+        if m.busy && m.busy_until > now {
+            work += m.busy_until - now;
+        }
+        for entry in &m.queue {
+            if !instances[entry.inst].dropped {
+                work += entry.dur;
+            }
+        }
+    }
+    work / machines.len() as f64
+}
+
+fn finalize(
+    instances: Vec<Instance>,
+    machines: usize,
+    first_arrival: f64,
+    last_time: f64,
+    busy_time: f64,
+) -> SimResult {
+    let mut metrics = OnlineMetrics {
+        machines,
+        busy_time,
+        horizon: (last_time - first_arrival).max(0.0),
+        ..Default::default()
+    };
+    let mut outcomes = Vec::with_capacity(instances.len());
+    for i in instances {
+        let outcome = InstanceOutcome {
+            arrival: i.arrival,
+            deadline: i.deadline,
+            det_makespan: i.state.det_makespan,
+            finish: i.finish,
+            makespan: i.makespan,
+            admitted: i.admitted,
+            dropped: i.dropped,
+            tasks: i.pending.len(),
+            tasks_completed: i.tasks_completed,
+            tasks_met: i.tasks_met,
+            executed_time: i.executed_time,
+        };
+        metrics.instances += 1;
+        metrics.tasks_total += outcome.tasks;
+        metrics.tasks_completed += outcome.tasks_completed;
+        metrics.tasks_met += outcome.tasks_met;
+        if outcome.admitted {
+            metrics.admitted += 1;
+            if outcome.dropped {
+                metrics.dropped += 1;
+            }
+        } else {
+            metrics.rejected += 1;
+        }
+        if outcome.finish.is_some() {
+            metrics.completed += 1;
+        }
+        if outcome.met_deadline() {
+            metrics.workflows_met += 1;
+        } else {
+            metrics.wasted_time += outcome.executed_time;
+        }
+        outcomes.push(outcome);
+    }
+    SimResult { outcomes, metrics }
+}

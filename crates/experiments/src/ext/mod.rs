@@ -11,10 +11,12 @@
 //! | [`backends`] | robustness of the §VI conclusion itself: the correlation protocol re-run under every registered makespan evaluator (classic, Spelde, Dodin, Monte-Carlo) |
 //! | [`mc_convergence`] | the cost of the ground truth: realization-budget convergence of σ/L/h per Monte-Carlo estimator (plain, antithetic, stratified) vs the classic baseline |
 //! | [`traces`] | scenario realism beyond generators: the correlation protocol on ingested real-workflow traces (DAX / WfCommons / DOT) |
+//! | [`dynamic`] | robustness *online*: arrival-driven execution under oversubscription — which dropping policy keeps the most work inside its deadlines? |
 
 pub mod apps;
 pub mod backends;
 pub mod distributions;
+pub mod dynamic;
 pub mod grid_resolution;
 pub mod mc_convergence;
 pub mod pareto;

@@ -22,16 +22,9 @@ use crate::ext::backends::CLUSTER_THRESHOLD;
 use crate::RunOptions;
 use robusched_core::{metric_index, StudyBuilder};
 use robusched_dag::parsers::{parse_trace, TraceDag};
-use robusched_platform::Scenario;
+use robusched_platform::{Scenario, TraceCalibration};
 use robusched_randvar::derive_seed;
 use robusched_stats::CorrMatrix;
-
-/// Speed-vector coefficient of variation (the paper's `V_mach`), matching
-/// the `ext-apps` platforms.
-const SPEED_COV: f64 = 0.5;
-
-/// Machine count: the paper's mid-size platform.
-const MACHINES: usize = 8;
 
 /// The committed sample traces: `(filename, content)`, one per format.
 /// Embedded at compile time so the study (and the `trace` serve family)
@@ -128,9 +121,17 @@ pub struct Traces {
     pub traces: Vec<TraceResult>,
 }
 
-/// Runs the study: per trace, 2 uncertainty levels × one streaming
-/// [`StudyBuilder`] pass each, mean aggregation across the levels.
+/// Runs the study on the default calibration (the fixed 8-machine,
+/// speed-CV-0.5 platform every earlier run of this study used).
 pub fn run(opts: &RunOptions) -> std::io::Result<Traces> {
+    run_with(opts, &TraceCalibration::default())
+}
+
+/// Runs the study: per trace, 2 uncertainty levels × one streaming
+/// [`StudyBuilder`] pass each, mean aggregation across the levels. The
+/// `calibration` chooses the platform each trace is replayed on (machine
+/// count + speed heterogeneity).
+pub fn run_with(opts: &RunOptions, calibration: &TraceCalibration) -> std::io::Result<Traces> {
     let schedules = opts.count(2_000, 60);
     let mut traces = Vec::with_capacity(SAMPLE_TRACES.len());
     for (ti, (file, content)) in SAMPLE_TRACES.iter().enumerate() {
@@ -142,7 +143,7 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Traces> {
         let mut spearmans = Vec::new();
         for (ui, ul) in [1.01, 1.1].into_iter().enumerate() {
             let seed = derive_seed(opts.seed, 11_000 + 10 * ti as u64 + ui as u64);
-            let scenario = Scenario::from_trace(&trace, MACHINES, SPEED_COV, ul, seed);
+            let scenario = Scenario::from_trace_with(&trace, calibration, ul, seed);
             let res = StudyBuilder::new(&scenario)
                 .random_schedules(schedules)
                 .seed(derive_seed(seed, 2))
@@ -293,5 +294,32 @@ mod tests {
         assert_eq!(csv.lines().count(), 4);
         assert!(csv.starts_with(SUMMARY_HEADER));
         assert!(render(&t).contains("cluster"));
+    }
+
+    #[test]
+    fn custom_calibration_changes_the_platform() {
+        let opts = RunOptions {
+            scale: 0.004,
+            out_dir: None,
+            seed: 41,
+            threads: None,
+        };
+        // A small homogeneous cluster instead of the default heterogeneous
+        // 8-machine platform: the study still runs, and the correlations
+        // genuinely differ (the platform matters).
+        let custom = run_with(
+            &opts,
+            &TraceCalibration {
+                machines: 4,
+                speed_cov: 0.0,
+            },
+        )
+        .unwrap();
+        let default = run(&opts).unwrap();
+        assert_eq!(custom.traces.len(), default.traces.len());
+        let d = default.traces[0].pearson("makespan_std", "avg_lateness");
+        let c = custom.traces[0].pearson("makespan_std", "avg_lateness");
+        assert!(c.is_finite() && d.is_finite());
+        assert_ne!(c.to_bits(), d.to_bits(), "platform had no effect");
     }
 }

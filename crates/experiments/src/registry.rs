@@ -74,7 +74,7 @@ fn run_fig6(opts: &RunOptions) -> std::io::Result<String> {
     Ok(figs::fig6::render(&f))
 }
 
-static REGISTRY: [ExperimentEntry; 20] = [
+static REGISTRY: [ExperimentEntry; 21] = [
     ExperimentEntry {
         name: "fig1",
         about: "KS/CM accuracy of the independence assumption vs graph size",
@@ -185,6 +185,12 @@ static REGISTRY: [ExperimentEntry; 20] = [
         run: |o| Ok(ext::traces::render(&ext::traces::run(o)?)),
     },
     ExperimentEntry {
+        name: "ext-dynamic",
+        about: "deadline hit-rates under arrival-driven load, per dropping policy",
+        group: ExperimentGroup::Extension,
+        run: |o| Ok(ext::dynamic::render(&ext::dynamic::run(o)?)),
+    },
+    ExperimentEntry {
         name: "serve",
         about: "line-delimited JSON evaluation server over stdin/stdout (EvalService)",
         group: ExperimentGroup::Service,
@@ -238,10 +244,10 @@ mod tests {
     #[test]
     fn every_entry_resolvable_and_unique() {
         let mut names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 20);
+        assert_eq!(names.len(), 21);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 20, "duplicate experiment names");
+        assert_eq!(names.len(), 21, "duplicate experiment names");
         for e in registry() {
             let found = experiment_by_name(e.name()).expect("resolvable");
             assert_eq!(found.name(), e.name());
@@ -265,7 +271,7 @@ mod tests {
             .filter(|e| e.group() == ExperimentGroup::Service)
             .count();
         assert_eq!(figures, 9);
-        assert_eq!(extensions, 9);
+        assert_eq!(extensions, 10);
         assert_eq!(service, 2);
     }
 

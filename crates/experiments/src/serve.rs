@@ -36,6 +36,21 @@
 //! "error": "..."}` on evaluation or parse errors. Malformed lines get an
 //! error response in-stream — the server never dies on bad input.
 //!
+//! A second request family drives the arrival-driven executor
+//! ([`robusched_dynamic`]): a line carrying a `"dynamic"` object instead
+//! of `scenario`/`schedule` runs one small online simulation over the
+//! `ext-dynamic` workload pool and answers with its aggregated counters:
+//!
+//! ```json
+//! {"id": 2, "dynamic": {"policy": "prune@0.5", "oversub": 2.0,
+//!                       "instances": 50, "seed": 7}}
+//! ```
+//!
+//! (`policy` is any [`robusched_dynamic::policy_by_spec`] spec;
+//! `oversub` scales the Poisson arrival rate against platform capacity;
+//! `instances` is capped at 2000 because the simulation runs synchronously
+//! on the reader thread — responses stay strictly in request order.)
+//!
 //! `serve-load` is the self-driving twin: it generates a deterministic
 //! request mix against the same service (no I/O on the hot path), measures
 //! cold-preparation, warm-cache and steady-state throughput, and writes
@@ -44,7 +59,7 @@
 use crate::RunOptions;
 use robusched_core::{EvalRequest, EvalService, MetricValues, ServiceConfig};
 use robusched_dag::AppClass;
-use robusched_platform::Scenario;
+use robusched_platform::{Scenario, TraceCalibration};
 use robusched_sched::{heuristic_by_name, random_schedule, Schedule};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
@@ -180,7 +195,11 @@ impl ScenarioInterner {
                     speed_cov.to_bits(),
                     ul.to_bits()
                 );
-                Box::new(move || Scenario::from_trace(&trace, m, speed_cov, ul, seed))
+                let calibration = TraceCalibration {
+                    machines: m,
+                    speed_cov,
+                };
+                Box::new(move || Scenario::from_trace_with(&trace, &calibration, ul, seed))
             }
             other => return Err(format!("unknown scenario family '{other}'")),
         };
@@ -222,18 +241,116 @@ fn resolve_schedule(spec: &Json, scenario: &Scenario) -> Result<Schedule, String
     }
 }
 
-/// A decoded request: the service request plus an optional response-field
-/// filter, or a protocol error to echo back.
-type DecodedRequest = Result<(EvalRequest, Option<Vec<String>>), String>;
+// ---------------------------------------------------------------------------
+// The `dynamic` request family: synchronous online simulations
+// ---------------------------------------------------------------------------
 
-/// Decodes one request line into the service request plus its echoed id
-/// and metric filter. Pure — no service interaction.
-fn decode_request(line: &str, interner: &mut ScenarioInterner) -> (Json, DecodedRequest) {
+/// Hard cap on `dynamic.instances` — the simulation runs synchronously on
+/// the reader thread, so one request must stay small.
+const DYNAMIC_MAX_INSTANCES: usize = 2000;
+
+/// Lazily built state shared by every `dynamic` request of one serve
+/// session: the `ext-dynamic` workload pool and its capacity calibration.
+#[derive(Default)]
+struct DynamicRunner {
+    pool: Option<(Vec<Arc<Scenario>>, f64)>,
+}
+
+impl DynamicRunner {
+    fn run(&mut self, spec: &Json) -> Result<Json, String> {
+        let policy_spec = spec.get("policy").and_then(Json::as_str).unwrap_or("never");
+        let policy = robusched_dynamic::policy_by_spec(policy_spec)
+            .ok_or_else(|| format!("unknown dropping policy '{policy_spec}'"))?;
+        let oversub = match spec.get("oversub") {
+            None => 1.0,
+            Some(v) => v
+                .as_f64()
+                .filter(|o| o.is_finite() && *o > 0.0)
+                .ok_or("dynamic.oversub must be a positive number")?,
+        };
+        let instances = match spec.get("instances") {
+            None => 50,
+            Some(v) => v
+                .as_usize()
+                .filter(|&n| (1..=DYNAMIC_MAX_INSTANCES).contains(&n))
+                .ok_or_else(|| {
+                    format!("dynamic.instances must be in 1..={DYNAMIC_MAX_INSTANCES}")
+                })?,
+        };
+        let seed = match spec.get("seed") {
+            None => 0,
+            Some(v) => v
+                .as_u64()
+                .ok_or("dynamic.seed must be a non-negative integer")?,
+        };
+        let (pool, mean_work) = self.pool.get_or_insert_with(|| {
+            let pool = crate::ext::dynamic::workload_pool(0);
+            let mean_work = crate::ext::dynamic::mean_instance_work(&pool);
+            (pool, mean_work)
+        });
+        let machines = pool[0].machine_count() as f64;
+        let rate = oversub * machines / *mean_work;
+        let mut stream = robusched_dynamic::PoissonStream::new(
+            pool.clone(),
+            rate,
+            instances,
+            robusched_randvar::derive_seed(seed, 1),
+        );
+        let config = robusched_dynamic::SimConfig {
+            seed: robusched_randvar::derive_seed(seed, 2),
+            ..Default::default()
+        };
+        let result = robusched_dynamic::DynamicSim::new(policy.as_ref(), config)
+            .run(&mut stream)
+            .map_err(|e| e.to_string())?;
+        let m = &result.metrics;
+        let count = |n: usize| Json::Num(n as f64);
+        Ok(Json::Obj(vec![
+            ("policy".into(), Json::Str(policy_spec.to_string())),
+            ("instances".into(), count(m.instances)),
+            ("admitted".into(), count(m.admitted)),
+            ("rejected".into(), count(m.rejected)),
+            ("dropped".into(), count(m.dropped)),
+            ("completed".into(), count(m.completed)),
+            ("workflows_met".into(), count(m.workflows_met)),
+            ("hit_rate".into(), Json::Num(m.workflow_hit_rate())),
+            ("task_hit_rate".into(), Json::Num(m.task_hit_rate())),
+            ("wasted_frac".into(), Json::Num(m.wasted_fraction())),
+            ("utilization".into(), Json::Num(m.utilization())),
+        ]))
+    }
+}
+
+/// One decoded request line, before service submission.
+enum Decoded {
+    /// An evaluation request (plus its optional metric filter) for the
+    /// batched service.
+    Eval(EvalRequest, Option<Vec<String>>),
+    /// A `dynamic` simulation, already run — the response payload.
+    Dynamic(Json),
+    /// A protocol error to echo back.
+    Fail(String),
+}
+
+/// Decodes one request line. Evaluation requests are pure decoding; the
+/// `dynamic` family runs its (small, capped) simulation right here, on the
+/// reader thread, so responses stay strictly in request order.
+fn decode_request(
+    line: &str,
+    interner: &mut ScenarioInterner,
+    dynamic: &mut DynamicRunner,
+) -> (Json, Decoded) {
     let doc = match parse_json(line) {
         Ok(doc) => doc,
-        Err(e) => return (Json::Null, Err(format!("invalid JSON: {e}"))),
+        Err(e) => return (Json::Null, Decoded::Fail(format!("invalid JSON: {e}"))),
     };
     let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    if let Some(spec) = doc.get("dynamic") {
+        return match dynamic.run(spec) {
+            Ok(payload) => (id, Decoded::Dynamic(payload)),
+            Err(e) => (id, Decoded::Fail(e)),
+        };
+    }
     let inner = (|| {
         let scenario_spec = doc.get("scenario").ok_or("missing 'scenario'")?;
         let scenario = interner.resolve(scenario_spec)?;
@@ -263,7 +380,11 @@ fn decode_request(line: &str, interner: &mut ScenarioInterner) -> (Json, Decoded
         };
         Ok((EvalRequest::new(scenario, schedule, &evaluator), filter))
     })();
-    (id, inner.map_err(|e: String| e))
+    let decoded = match inner {
+        Ok((request, filter)) => Decoded::Eval(request, filter),
+        Err(e) => Decoded::Fail(e),
+    };
+    (id, decoded)
 }
 
 fn render_response(
@@ -306,13 +427,20 @@ fn render_response(
 // serve: stdin/stdout protocol loop
 // ---------------------------------------------------------------------------
 
-/// One queue entry from reader to writer: the echoed id, the metric
-/// filter, and either a service ticket or an immediate error.
-type WireEntry = (
-    Json,
-    Option<Vec<String>>,
-    Result<robusched_core::Ticket, String>,
-);
+/// What the writer must do for one request, in submission order.
+enum WirePayload {
+    /// Wait on the service ticket, then render the metrics (optionally
+    /// filtered).
+    Eval(robusched_core::Ticket, Option<Vec<String>>),
+    /// A `dynamic` simulation already ran on the reader thread — emit its
+    /// payload as `{"id", "ok": true, "dynamic": {...}}`.
+    Done(Json),
+    /// Echo a protocol/simulation error.
+    Fail(String),
+}
+
+/// One queue entry from reader to writer: the echoed id plus the payload.
+type WireEntry = (Json, WirePayload);
 
 /// Runs the protocol loop over arbitrary reader/writer (unit-testable);
 /// returns the rendered summary.
@@ -326,6 +454,7 @@ pub fn serve_streams<R: BufRead, W: Write + Send>(
         ..Default::default()
     });
     let mut interner = ScenarioInterner::default();
+    let mut dynamic = DynamicRunner::default();
     let t0 = Instant::now();
     let (tx, rx) = std::sync::mpsc::channel::<WireEntry>();
 
@@ -336,21 +465,32 @@ pub fn serve_streams<R: BufRead, W: Write + Send>(
             // Entries arrive in submission order; waiting on each ticket in
             // turn therefore emits responses in request order even when the
             // workers finish out of order.
-            for (id, filter, entry) in rx {
-                let result = match entry {
-                    Ok(ticket) => match service_ref.wait(ticket) {
-                        Ok(outcome) => {
-                            Ok((outcome.metrics, outcome.result_hit, outcome.scenario_hit))
-                        }
-                        Err(e) => Err(e.to_string()),
-                    },
-                    Err(e) => Err(e),
+            for (id, payload) in rx {
+                let line = match payload {
+                    WirePayload::Eval(ticket, filter) => {
+                        let result = match service_ref.wait(ticket) {
+                            Ok(outcome) => {
+                                Ok((outcome.metrics, outcome.result_hit, outcome.scenario_hit))
+                            }
+                            Err(e) => Err(e.to_string()),
+                        };
+                        render_response(&id, &result, filter.as_deref())
+                    }
+                    WirePayload::Done(payload) => {
+                        let mut out = String::new();
+                        write_json(
+                            &Json::Obj(vec![
+                                ("id".into(), id),
+                                ("ok".into(), Json::Bool(true)),
+                                ("dynamic".into(), payload),
+                            ]),
+                            &mut out,
+                        );
+                        out
+                    }
+                    WirePayload::Fail(e) => render_response(&id, &Err(e), None),
                 };
-                writeln!(
-                    output,
-                    "{}",
-                    render_response(&id, &result, filter.as_deref())
-                )?;
+                writeln!(output, "{line}")?;
                 output.flush()?;
             }
             Ok(output)
@@ -363,12 +503,15 @@ pub fn serve_streams<R: BufRead, W: Write + Send>(
                 continue;
             }
             lines_seen += 1;
-            let (id, decoded) = decode_request(&line, &mut interner);
-            let entry = match decoded {
-                Ok((request, filter)) => (id, filter, Ok(service.submit(request))),
-                Err(e) => (id, None, Err(e)),
+            let (id, decoded) = decode_request(&line, &mut interner, &mut dynamic);
+            let payload = match decoded {
+                Decoded::Eval(request, filter) => {
+                    WirePayload::Eval(service.submit(request), filter)
+                }
+                Decoded::Dynamic(payload) => WirePayload::Done(payload),
+                Decoded::Fail(e) => WirePayload::Fail(e),
             };
-            if tx.send(entry).is_err() {
+            if tx.send((id, payload)).is_err() {
                 break; // writer died (broken pipe); stop reading
             }
         }
@@ -616,6 +759,49 @@ mod tests {
         assert_eq!(lines[1].get("cache_hit"), Some(&Json::Bool(true)));
         // Unknown trace names error in-stream.
         assert_eq!(lines[2].get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn dynamic_family_runs_in_order_and_validates() {
+        let input = concat!(
+            r#"{"id": 1, "dynamic": {"policy": "prune@0.5", "oversub": 2.0, "instances": 10, "seed": 7}}"#,
+            "\n",
+            r#"{"id": 2, "scenario": {"family": "paper-random", "n": 10, "m": 3, "ul": 1.1, "seed": 5}, "schedule": {"kind": "heuristic", "name": "heft"}, "metrics": ["expected_makespan"]}"#,
+            "\n",
+            r#"{"id": 3, "dynamic": {"policy": "sometimes"}}"#,
+            "\n",
+            r#"{"id": 4, "dynamic": {"instances": 999999}}"#,
+            "\n",
+            r#"{"id": 5, "dynamic": {"policy": "prune@0.5", "oversub": 2.0, "instances": 10, "seed": 7}}"#,
+            "\n",
+        );
+        let mut output = Vec::new();
+        let opts = RunOptions {
+            threads: Some(2),
+            out_dir: None,
+            ..Default::default()
+        };
+        let summary = serve_streams(input.as_bytes(), &mut output, &opts).unwrap();
+        assert!(summary.contains("5 request(s)"), "{summary}");
+        let lines: Vec<Json> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| parse_json(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 5);
+        // The simulation answered with its counters, in order.
+        assert_eq!(lines[0].get("ok"), Some(&Json::Bool(true)));
+        let sim = lines[0].get("dynamic").unwrap();
+        assert_eq!(sim.get("instances").unwrap().as_f64(), Some(10.0));
+        let hit_rate = sim.get("hit_rate").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&hit_rate));
+        // Evaluation requests interleave untouched.
+        assert_eq!(lines[1].get("ok"), Some(&Json::Bool(true)));
+        // Bad policy specs and oversized runs error in-stream.
+        assert_eq!(lines[2].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(lines[3].get("ok"), Some(&Json::Bool(false)));
+        // Same spec, same answer: the simulation is deterministic.
+        assert_eq!(lines[4].get("dynamic"), lines[0].get("dynamic"));
     }
 
     #[test]

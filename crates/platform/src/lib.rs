@@ -32,5 +32,5 @@ pub mod uncertainty;
 
 pub use costs::{machine_speeds, CostMatrix};
 pub use machines::Platform;
-pub use scenario::Scenario;
+pub use scenario::{Scenario, TraceCalibration};
 pub use uncertainty::{UncertaintyKind, UncertaintyModel, WeightDist};

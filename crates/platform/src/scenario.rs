@@ -14,6 +14,29 @@ use robusched_dag::generators::{layered_random, LayeredRandomConfig};
 use robusched_dag::{EdgeId, NodeId, TaskGraph};
 use robusched_randvar::derive_seed;
 
+/// Platform calibration for trace-backed scenarios: how many machines the
+/// reference platform has and how heterogeneous their speeds are. The
+/// default is the `ext-traces` study's fixed platform (8 machines, speed
+/// CV 0.5); callers replaying a trace recorded on a known cluster override
+/// it to match (e.g. a 32-node homogeneous cluster →
+/// `TraceCalibration { machines: 32, speed_cov: 0.0 }`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceCalibration {
+    /// Machines of the reference platform.
+    pub machines: usize,
+    /// Coefficient of variation of the machine speeds (0 = homogeneous).
+    pub speed_cov: f64,
+}
+
+impl Default for TraceCalibration {
+    fn default() -> Self {
+        Self {
+            machines: 8,
+            speed_cov: 0.5,
+        }
+    }
+}
+
 /// A complete problem instance.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -147,6 +170,19 @@ impl Scenario {
         seed: u64,
     ) -> Self {
         Self::structured_app(trace.to_task_graph(), m, speed_cov, ul, seed)
+    }
+
+    /// [`Scenario::from_trace`] with the platform described by a
+    /// [`TraceCalibration`] — the override point for callers replaying a
+    /// trace against the cluster it was actually recorded on rather than
+    /// the default study platform.
+    pub fn from_trace_with(
+        trace: &robusched_dag::parsers::TraceDag,
+        calibration: &TraceCalibration,
+        ul: f64,
+        seed: u64,
+    ) -> Self {
+        Self::from_trace(trace, calibration.machines, calibration.speed_cov, ul, seed)
     }
 
     /// Number of tasks.
@@ -307,6 +343,44 @@ mod tests {
         for i in 0..3 {
             for p in 0..4 {
                 assert_eq!(s.det_task_cost(i, p), t.det_task_cost(i, p));
+            }
+        }
+    }
+
+    #[test]
+    fn from_trace_with_calibration_overrides_platform() {
+        let dot = r#"digraph t {
+          a [size="4e9"]; b [size="8e9"]; c [size="2e9"];
+          a -> b [size="1e9"]; b -> c [size="5e8"];
+        }"#;
+        let trace = robusched_dag::parsers::parse_trace("t.dot", dot).unwrap();
+        // The default calibration is exactly the ext-traces platform.
+        let cal = TraceCalibration::default();
+        assert_eq!((cal.machines, cal.speed_cov), (8, 0.5));
+        let default = Scenario::from_trace_with(&trace, &cal, 1.1, 11);
+        let explicit = Scenario::from_trace(&trace, 8, 0.5, 1.1, 11);
+        for i in 0..3 {
+            for p in 0..8 {
+                assert_eq!(default.det_task_cost(i, p), explicit.det_task_cost(i, p));
+            }
+        }
+        // A homogeneous 3-machine override: same costs on every machine up
+        // to the 10 % unrelatedness noise.
+        let homog = Scenario::from_trace_with(
+            &trace,
+            &TraceCalibration {
+                machines: 3,
+                speed_cov: 0.0,
+            },
+            1.1,
+            11,
+        );
+        assert_eq!(homog.machine_count(), 3);
+        for i in 0..3 {
+            let min = homog.costs.min_cost(i);
+            for p in 0..3 {
+                let ratio = homog.det_task_cost(i, p) / min;
+                assert!(ratio < 1.5, "task {i} machine {p}: ratio {ratio}");
             }
         }
     }

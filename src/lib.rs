@@ -17,12 +17,15 @@
 //! * [`stats`] — correlation and descriptive statistics;
 //! * [`core`] — the robustness metrics, the comparison-study pipeline, and
 //!   the batched, cache-deduplicated [`core::EvalService`];
+//! * [`dynamic`] — arrival-driven (online) simulation: event-driven
+//!   executor with deadlines, task dropping, and probabilistic pruning;
 //! * [`experiments`] — figure-by-figure reproduction harness.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use robusched_core as core;
 pub use robusched_dag as dag;
+pub use robusched_dynamic as dynamic;
 pub use robusched_experiments as experiments;
 pub use robusched_numeric as numeric;
 pub use robusched_platform as platform;
