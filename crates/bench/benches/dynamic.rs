@@ -10,11 +10,19 @@
 //! * `sim-prune` — the expensive path: remaining-distribution tables are
 //!   built per scenario fingerprint and every dispatch pays a CDF query.
 //!
-//! `scripts/bench_diff.py` gates regressions on all three, so the policy
-//! overhead (prune vs never) stays an explicit, tracked quantity.
+//! The `faults-*` benchmarks run the same reap simulation under machine
+//! faults (exponential MTBF/MTTR at the `ext-faults` "harsh" level), one
+//! per recovery policy — they price the fault machinery itself: kill/
+//! repair events, refund accounting, and redispatch.
+//!
+//! `scripts/bench_diff.py` gates regressions on all of them, so the policy
+//! overhead (prune vs never, recovery vs fault-free) stays an explicit,
+//! tracked quantity.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use robusched_dynamic::{policy_by_spec, DynamicSim, PoissonStream, SimConfig};
+use robusched_dynamic::{
+    fault_by_spec, policy_by_spec, recovery_by_spec, DynamicSim, PoissonStream, SimConfig,
+};
 use robusched_experiments::ext::dynamic::{mean_instance_work, workload_pool};
 use std::hint::black_box;
 
@@ -31,6 +39,29 @@ fn dynamic_sims(c: &mut Criterion) {
             b.iter(|| {
                 let mut stream = PoissonStream::new(pool.clone(), rate, 40, 99);
                 let sim = DynamicSim::new(policy.as_ref(), SimConfig::default());
+                black_box(sim.run(&mut stream).expect("simulation succeeds"))
+            })
+        });
+    }
+
+    // The fault machinery, priced per recovery policy: same pool and load,
+    // reap policy, harsh exponential failures (MTBF = 3 W̄, MTTR = W̄).
+    let mean_work = mean_instance_work(&pool);
+    let fault_spec = format!("exp@{}:{}", 3.0 * mean_work, mean_work);
+    let fault = fault_by_spec(&fault_spec).expect("valid fault spec");
+    let reap = policy_by_spec("reap").expect("valid policy spec");
+    for recovery_spec in ["abandon", "retry@3", "resched"] {
+        let recovery = recovery_by_spec(recovery_spec).expect("valid recovery spec");
+        let label = format!("faults-{}", recovery_spec.split('@').next().unwrap());
+        g.bench_function(&label, |b| {
+            b.iter(|| {
+                let mut stream = PoissonStream::new(pool.clone(), rate, 40, 99);
+                let sim = DynamicSim::with_faults(
+                    reap.as_ref(),
+                    SimConfig::default(),
+                    fault.as_ref(),
+                    recovery.as_ref(),
+                );
                 black_box(sim.run(&mut stream).expect("simulation succeeds"))
             })
         });

@@ -229,13 +229,29 @@ pub struct OnlineMetrics {
     /// Total machine-time spent executing tasks.
     pub busy_time: f64,
     /// Machine-time spent on instances that never met their deadline
-    /// (dropped, reaped, or completed late) — the "wasted work" of the
-    /// task-dropping papers.
+    /// (dropped, reaped, or completed late) plus failed attempts of
+    /// on-time instances — the "wasted work" of the task-dropping papers,
+    /// extended to faults.
     pub wasted_time: f64,
     /// Simulated time from the first arrival to the last event.
     pub horizon: f64,
     /// Machines of the simulated platform.
     pub machines: usize,
+    /// Machine-time lost to outages (sum of repair intervals over the
+    /// pool); zero without a fault model.
+    pub down_time: f64,
+    /// Machine-time of failed task attempts (killed mid-run or discarded
+    /// by transient faults) — a subset of `busy_time`.
+    pub lost_time: f64,
+    /// Machine failures injected by the fault model.
+    pub machine_failures: usize,
+    /// Running tasks killed by machine failures.
+    pub killed_tasks: usize,
+    /// Task attempts that completed but were discarded by transient
+    /// faults.
+    pub transient_faults: usize,
+    /// Task re-dispatches granted by the recovery policy.
+    pub retries: usize,
 }
 
 impl OnlineMetrics {
@@ -274,6 +290,37 @@ impl OnlineMetrics {
             return 0.0;
         }
         self.busy_time / cap
+    }
+
+    /// Utilization of the capacity that actually existed: busy time over
+    /// `m × horizon` minus outage time. Equal to [`utilization`]
+    /// (OnlineMetrics::utilization) without faults; under faults it
+    /// separates "machines idle" from "machines gone".
+    pub fn effective_utilization(&self) -> f64 {
+        let cap = self.machines as f64 * self.horizon - self.down_time;
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        self.busy_time / cap
+    }
+
+    /// Useful-work rate: machine-time that contributed to on-time
+    /// completions (`busy − wasted`) over total capacity — the goodput of
+    /// the fault/recovery sweep.
+    pub fn goodput(&self) -> f64 {
+        let cap = self.machines as f64 * self.horizon;
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        ((self.busy_time - self.wasted_time) / cap).max(0.0)
+    }
+
+    /// Mean recovery re-dispatches per arrived instance.
+    pub fn retries_per_instance(&self) -> f64 {
+        if self.instances == 0 {
+            return 0.0;
+        }
+        self.retries as f64 / self.instances as f64
     }
 }
 
@@ -434,16 +481,34 @@ mod tests {
             wasted_time: 20.0,
             horizon: 25.0,
             machines: 4,
+            ..Default::default()
         };
         assert_eq!(m.workflow_hit_rate(), 0.5);
         assert_eq!(m.task_hit_rate(), 0.6);
         assert_eq!(m.wasted_fraction(), 0.25);
         assert_eq!(m.utilization(), 0.8);
+        // Without faults the effective utilization is the utilization and
+        // goodput is the non-wasted share.
+        assert_eq!(m.effective_utilization(), m.utilization());
+        assert_eq!(m.goodput(), 0.6);
+        assert_eq!(m.retries_per_instance(), 0.0);
+        // Outages shrink the effective capacity; retries average over
+        // arrivals.
+        let f = OnlineMetrics {
+            down_time: 20.0,
+            retries: 5,
+            ..m
+        };
+        assert_eq!(f.effective_utilization(), 1.0);
+        assert_eq!(f.retries_per_instance(), 0.5);
         // Degenerate denominators stay finite.
         let z = OnlineMetrics::default();
         assert_eq!(z.workflow_hit_rate(), 0.0);
         assert_eq!(z.task_hit_rate(), 0.0);
         assert_eq!(z.wasted_fraction(), 0.0);
         assert_eq!(z.utilization(), 0.0);
+        assert_eq!(z.effective_utilization(), 0.0);
+        assert_eq!(z.goodput(), 0.0);
+        assert_eq!(z.retries_per_instance(), 0.0);
     }
 }

@@ -85,6 +85,19 @@ pub struct ServiceConfig {
     /// memory on long-running servers. `None` disables the TTL (the LRU
     /// capacity bound still applies).
     pub scenario_ttl: Option<Duration>,
+    /// Bound on the pending-request queue. A submission that would push
+    /// the queue past this is *shed* immediately with
+    /// [`ServiceError::Overloaded`] instead of growing the backlog
+    /// unboundedly — cache hits and in-flight coalesced duplicates are
+    /// never shed (they consume no queue slot). `None` disables load
+    /// shedding.
+    pub queue_capacity: Option<usize>,
+    /// Per-request deadline, measured from submission. A request still
+    /// unstarted when its deadline lapses is answered
+    /// [`ServiceError::TimedOut`] instead of evaluated — under overload
+    /// the service spends its workers on requests whose clients are
+    /// plausibly still waiting. `None` disables timeouts.
+    pub request_timeout: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +108,8 @@ impl Default for ServiceConfig {
             result_capacity: 4096,
             max_batch: 64,
             scenario_ttl: None,
+            queue_capacity: None,
+            request_timeout: None,
         }
     }
 }
@@ -153,6 +168,13 @@ pub enum ServiceError {
     Panicked(String),
     /// The service is shutting down and will not accept the request.
     ShuttingDown,
+    /// The pending queue is at [`ServiceConfig::queue_capacity`]; the
+    /// request was shed instead of queued (graceful degradation — retry
+    /// later or back off).
+    Overloaded,
+    /// The request waited past [`ServiceConfig::request_timeout`] without
+    /// starting and was abandoned.
+    TimedOut,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -161,6 +183,8 @@ impl std::fmt::Display for ServiceError {
             Self::UnknownEvaluator(n) => write!(f, "unknown evaluator '{n}'"),
             Self::Panicked(msg) => write!(f, "evaluation panicked: {msg}"),
             Self::ShuttingDown => write!(f, "service is shutting down"),
+            Self::Overloaded => write!(f, "service overloaded: request shed"),
+            Self::TimedOut => write!(f, "request timed out before evaluation"),
         }
     }
 }
@@ -197,6 +221,12 @@ pub struct ServiceStats {
     pub batches: u64,
     /// Requests that rode a batch of size ≥ 2.
     pub batched_requests: u64,
+    /// Requests shed with [`ServiceError::Overloaded`] (including
+    /// coalesced duplicates released when their leader was shed).
+    pub shed: u64,
+    /// Lead requests abandoned with [`ServiceError::TimedOut`] (coalesced
+    /// duplicates fail with the same error but are not double-counted).
+    pub timeouts: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -212,6 +242,8 @@ struct Job {
     request: EvalRequest,
     key: BatchKey,
     result_key: u64,
+    /// When the request entered the queue (the timeout clock).
+    submitted_at: Instant,
 }
 
 #[derive(Default)]
@@ -269,6 +301,8 @@ struct Stats {
     result_hits: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 struct Shared {
@@ -290,6 +324,24 @@ impl Shared {
         rs.done.insert(ticket, result);
         self.stats.completed.fetch_add(1, Ordering::Relaxed);
         self.responses_cv.notify_all();
+    }
+
+    /// Tears down an in-flight leader reservation that will never run
+    /// (shed or shutdown), failing any duplicates that attached while the
+    /// reservation was live. Returns how many waiters were released.
+    fn release_in_flight(&self, result_key: u64, err: &ServiceError) -> u64 {
+        let waiters = self
+            .caches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .in_flight
+            .remove(&result_key)
+            .unwrap_or_default();
+        let n = waiters.len() as u64;
+        for ticket in waiters {
+            self.complete(ticket, Err(err.clone()));
+        }
+        n
     }
 }
 
@@ -453,14 +505,34 @@ impl EvalService {
         if queue.shutdown {
             drop(queue);
             self.shared
+                .release_in_flight(result_key, &ServiceError::ShuttingDown);
+            self.shared
                 .complete(ticket, Err(ServiceError::ShuttingDown));
             return ticket;
+        }
+        // Graceful degradation: a full queue sheds the request (and any
+        // duplicates that raced onto its reservation) instead of growing
+        // the backlog without bound.
+        if let Some(cap) = self.shared.config.queue_capacity {
+            if queue.pending.len() >= cap {
+                drop(queue);
+                let followers = self
+                    .shared
+                    .release_in_flight(result_key, &ServiceError::Overloaded);
+                self.shared
+                    .stats
+                    .shed
+                    .fetch_add(1 + followers, Ordering::Relaxed);
+                self.shared.complete(ticket, Err(ServiceError::Overloaded));
+                return ticket;
+            }
         }
         queue.pending.push_back(Job {
             ticket,
             request,
             key,
             result_key,
+            submitted_at: Instant::now(),
         });
         drop(queue);
         self.shared.queue_cv.notify_one();
@@ -546,6 +618,8 @@ impl EvalService {
             result_hits: s.result_hits.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
             batched_requests: s.batched_requests.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            timeouts: s.timeouts.load(Ordering::Relaxed),
         }
     }
 
@@ -743,6 +817,16 @@ fn run_batch(shared: &Shared, batch: Vec<Job>) {
     // worker's per-thread context).
     let mut cx = EvalContext::new(prep.clone());
     for job in batch {
+        // A request that waited past its deadline is abandoned rather than
+        // evaluated: under overload the workers serve requests whose
+        // clients are plausibly still listening.
+        if let Some(timeout) = shared.config.request_timeout {
+            if job.submitted_at.elapsed() >= timeout {
+                shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                finish_job(shared, &job, Err(ServiceError::TimedOut));
+                continue;
+            }
+        }
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let rv = evaluator.evaluate_with(&job.request.scenario, &job.request.schedule, &mut cx);
             compute_metrics(
@@ -994,5 +1078,126 @@ mod tests {
         // At least the submissions that raced the (slow) leader coalesced;
         // by the time of the last waits the result cache serves the rest.
         assert!(service.stats().result_hits >= 1);
+    }
+
+    #[test]
+    fn zero_capacity_sheds_every_request() {
+        // Capacity 0: the queue can never admit, so every submission is
+        // shed with `Overloaded` — deterministically, at any worker count.
+        for workers in [1, 2, 4] {
+            let service = EvalService::new(ServiceConfig {
+                workers: Some(workers),
+                queue_capacity: Some(0),
+                ..Default::default()
+            });
+            let s = scenario(31);
+            for i in 0..6u64 {
+                let sched = random_schedule(&s.graph.dag, s.machine_count(), i);
+                let err = service
+                    .evaluate(EvalRequest::new(s.clone(), sched, "classic"))
+                    .unwrap_err();
+                assert_eq!(err, ServiceError::Overloaded, "workers={workers}");
+            }
+            // Shedding must tear down the leader's in-flight reservation:
+            // resubmitting the same request sheds again instead of
+            // attaching to a dead reservation and hanging forever.
+            let req = EvalRequest::new(s.clone(), heft(&s), "classic");
+            assert_eq!(
+                service.evaluate(req.clone()).unwrap_err(),
+                ServiceError::Overloaded
+            );
+            assert_eq!(service.evaluate(req).unwrap_err(), ServiceError::Overloaded);
+            let stats = service.stats();
+            assert_eq!(stats.shed, 8, "workers={workers}");
+            assert_eq!(stats.completed, 8, "every shed request still answers");
+        }
+    }
+
+    #[test]
+    fn zero_timeout_abandons_queued_requests() {
+        // A zero deadline has always lapsed by the time a worker looks:
+        // every queued request times out instead of evaluating.
+        for workers in [1, 2, 4] {
+            let service = EvalService::new(ServiceConfig {
+                workers: Some(workers),
+                request_timeout: Some(Duration::ZERO),
+                ..Default::default()
+            });
+            let s = scenario(33);
+            let tickets: Vec<Ticket> = (0..6u64)
+                .map(|i| {
+                    let sched = random_schedule(&s.graph.dag, s.machine_count(), i);
+                    service.submit(EvalRequest::new(s.clone(), sched, "classic"))
+                })
+                .collect();
+            for t in tickets {
+                assert_eq!(
+                    service.wait(t).unwrap_err(),
+                    ServiceError::TimedOut,
+                    "workers={workers}"
+                );
+            }
+            let stats = service.stats();
+            assert_eq!(stats.timeouts, 6, "workers={workers}");
+            assert_eq!(stats.shed, 0, "timeouts are not sheds");
+        }
+    }
+
+    #[test]
+    fn saturating_burst_sheds_instead_of_growing_queue() {
+        // The acceptance pin: one worker grinding slow evaluations, a
+        // bounded queue, and a burst of distinct requests. The first
+        // request always admits (empty queue); once the backlog hits the
+        // cap the rest shed — the queue never grows past capacity, and
+        // every ticket still gets an answer.
+        let service = EvalService::new(ServiceConfig {
+            workers: Some(1),
+            max_batch: 1,
+            queue_capacity: Some(2),
+            ..Default::default()
+        });
+        let s = Arc::new(Scenario::paper_random(40, 3, 1.1, 35));
+        let tickets: Vec<Ticket> = (0..32u64)
+            .map(|i| {
+                let sched = random_schedule(&s.graph.dag, s.machine_count(), i);
+                service.submit(EvalRequest::new(s.clone(), sched, "spelde"))
+            })
+            .collect();
+        let mut ok = 0u64;
+        let mut shed = 0u64;
+        for t in tickets {
+            match service.wait(t) {
+                Ok(_) => ok += 1,
+                Err(ServiceError::Overloaded) => shed += 1,
+                Err(e) => panic!("unexpected error under overload: {e}"),
+            }
+        }
+        assert_eq!(ok + shed, 32, "every request is answered exactly once");
+        assert!(ok >= 1, "the first request always admits");
+        assert!(shed >= 1, "a saturating burst must shed");
+        assert_eq!(service.stats().shed, shed);
+    }
+
+    #[test]
+    fn unbounded_service_never_sheds_or_times_out() {
+        // The default config keeps today's behavior: no shedding, no
+        // timeouts, however bursty the submission pattern.
+        let service = EvalService::new(ServiceConfig {
+            workers: Some(1),
+            ..Default::default()
+        });
+        let s = scenario(37);
+        let tickets: Vec<Ticket> = (0..8u64)
+            .map(|i| {
+                let sched = random_schedule(&s.graph.dag, s.machine_count(), i);
+                service.submit(EvalRequest::new(s.clone(), sched, "classic"))
+            })
+            .collect();
+        for t in tickets {
+            service.wait(t).unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.timeouts, 0);
     }
 }

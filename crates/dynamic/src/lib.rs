@@ -18,23 +18,33 @@
 //! Module map:
 //!
 //! * [`stream`] — [`ArrivalStream`]: Poisson arrivals over a workload
-//!   pool, or trace replay;
+//!   pool, or trace replay (including `(time, workload)` CSV logs);
 //! * [`policy`] — [`DropPolicy`]: never-drop, deadline reaping,
 //!   probabilistic pruning, and admission gating;
+//! * [`fault`] — [`FaultModel`] (machine failure/repair processes and
+//!   transient task faults) and [`RecoveryPolicy`] (abandon, capped
+//!   retry with exponential backoff, backlog-aware rescheduling);
 //! * [`remaining`] — the backward recursion producing the
 //!   remaining-completion-time distributions those policies query;
 //! * [`sim`] — [`DynamicSim`], the event loop itself.
 //!
-//! Everything is deterministic: same stream + policy + config ⇒
-//! bit-identical [`SimResult`], and on spaced arrivals with zero
-//! uncertainty the executor reproduces
-//! [`robusched_sched::EagerPlan::execute`] makespans bit for bit.
+//! Everything is deterministic: same stream + policy + config (+ fault
+//! model + recovery policy) ⇒ bit-identical [`SimResult`], and on spaced
+//! arrivals with zero uncertainty the executor reproduces
+//! [`robusched_sched::EagerPlan::execute`] makespans bit for bit — with
+//! [`NoFaults`] it stays bit-exact against the pre-fault executor.
 
+pub mod fault;
 pub mod policy;
 pub mod remaining;
 pub mod sim;
 pub mod stream;
 
+pub use fault::{
+    backoff_delay, fault_by_spec, recovery_by_spec, Abandon, ExpFaults, FaultModel, NoFaults,
+    RecoveryAction, RecoveryPolicy, Resched, Retry, TransientFaults, WeibullFaults, BACKOFF_BASE,
+    RESCHED_MAX_ATTEMPTS,
+};
 pub use policy::{
     meets_threshold, policy_by_spec, AdmissionGate, DeadlineReaper, DropPolicy, NeverDrop,
     PolicyQuery, ProbPrune,

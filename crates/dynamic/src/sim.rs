@@ -11,15 +11,16 @@
 //! ## Event-loop contract
 //!
 //! A binary-heap event queue keyed `(time, seq)` — `f64::total_cmp` on the
-//! time, a monotonic sequence number as the tiebreak — processes four
-//! event kinds: *arrival* (drawn lazily from the
+//! time, a monotonic sequence number as the tiebreak — processes the event
+//! kinds: *arrival* (drawn lazily from the
 //! [`ArrivalStream`]; arrivals win ties against queued events),
-//! *task-ready*, *task-complete*, and *deadline-lapse*. Every tie is
-//! broken by an explicitly ordered key, never by iteration order of a
+//! *task-ready*, *task-complete*, *deadline-lapse*, and (under a fault
+//! model) *machine-fail*, *machine-repair*, and *re-dispatch*. Every tie
+//! is broken by an explicitly ordered key, never by iteration order of a
 //! hash container, so a run is a pure function of
-//! `(stream, policy, config)` — bit-identical across repeats, platforms
-//! and (for the study harness, which shards whole simulations) thread
-//! counts.
+//! `(stream, policy, config, fault, recovery)` — bit-identical across
+//! repeats, platforms and (for the study harness, which shards whole
+//! simulations) thread counts.
 //!
 //! ## Determinism of start dates
 //!
@@ -40,7 +41,26 @@
 //! *running* tasks complete (their machine time is spent — that is the
 //! wasted work the metrics account), but no new task of the instance
 //! starts and its queued entries are skipped lazily.
+//!
+//! ## Faults and recovery
+//!
+//! With a non-trivial [`FaultModel`], each machine carries a
+//! seed-derived failure/repair process (its RNG stream is disjoint from
+//! every duration-sampling stream). A *machine-fail* event kills the
+//! running task (the spent fraction stays charged as lost work, the
+//! unexecuted remainder is refunded) and freezes the machine's queue; a
+//! *machine-repair* event brings it back and schedules the next failure
+//! while live work remains. A *transient* task fault is decided
+//! deterministically per `(instance, task, attempt)` at dispatch: the
+//! task runs to its full duration, then the result is discarded. Every
+//! failed attempt consults the [`RecoveryPolicy`]; retries re-enter the
+//! queue as *re-dispatch* events after an exponential backoff, and the
+//! `resched` policy re-chooses the machine over surviving machines by
+//! current backlog. With [`NoFaults`] none of these events exist and the
+//! run is bit-exact against the fault-free executor (pinned by
+//! proptest).
 
+use crate::fault::{FaultModel, NoFaults, RecoveryAction, RecoveryPolicy};
 use crate::policy::{DropPolicy, PolicyQuery};
 use crate::remaining::RemainingDists;
 use crate::stream::ArrivalStream;
@@ -55,6 +75,12 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
+/// Sub-seed tag of the per-machine fault streams (disjoint from the
+/// per-instance duration streams, which use `idx + 1`).
+const FAULT_STREAM_TAG: u64 = 1 << 62;
+/// Sub-seed tag of the per-attempt transient-fault draws.
+const TRANSIENT_DRAW_TAG: u64 = 1 << 63;
+
 /// Configuration of a dynamic run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -64,10 +90,16 @@ pub struct SimConfig {
     /// deterministic isolated makespan under the heuristic's schedule).
     pub deadline_factor: f64,
     /// Master seed for duration sampling (instance `i` uses the derived
-    /// sub-seed `i + 1`).
+    /// sub-seed `i + 1`) and, under a fault model, the per-machine fault
+    /// streams and transient-fault draws.
     pub seed: u64,
     /// PDF grid resolution for the policy-query distributions.
     pub grid: usize,
+    /// Fixed schedule override: when set, every scenario uses this
+    /// schedule instead of the heuristic's. Intended for single-scenario
+    /// streams (e.g. ranking a candidate schedule under faults); the
+    /// schedule must be valid for every arriving scenario.
+    pub schedule: Option<Schedule>,
 }
 
 impl Default for SimConfig {
@@ -77,6 +109,7 @@ impl Default for SimConfig {
             deadline_factor: 1.5,
             seed: 42,
             grid: DEFAULT_GRID,
+            schedule: None,
         }
     }
 }
@@ -140,7 +173,8 @@ pub struct InstanceOutcome {
     pub makespan: Option<f64>,
     /// `false` when the admission check refused the instance.
     pub admitted: bool,
-    /// `true` when the instance was abandoned mid-flight (pruned/reaped).
+    /// `true` when the instance was abandoned mid-flight (pruned, reaped,
+    /// or given up by the recovery policy).
     pub dropped: bool,
     /// Task count of the instance.
     pub tasks: usize,
@@ -148,8 +182,14 @@ pub struct InstanceOutcome {
     pub tasks_completed: usize,
     /// Completed tasks that finished at or before the deadline.
     pub tasks_met: usize,
-    /// Machine-time the instance consumed.
+    /// Machine-time the instance consumed (including failed attempts).
     pub executed_time: f64,
+    /// Machine-time of the instance's failed attempts (killed by machine
+    /// failures or discarded by transient faults) — a subset of
+    /// `executed_time`.
+    pub lost_time: f64,
+    /// Task re-dispatches the recovery policy granted the instance.
+    pub retries: usize,
 }
 
 impl InstanceOutcome {
@@ -166,6 +206,10 @@ pub struct SimResult {
     pub outcomes: Vec<InstanceOutcome>,
     /// Aggregated online robustness counters.
     pub metrics: OnlineMetrics,
+    /// `RemainingDists` tables built during the run (one per distinct
+    /// scenario, and only when the policy needs distributions — policies
+    /// that don't must keep this at zero).
+    pub dist_builds: usize,
 }
 
 // ---------------------------------------------------------------------------
@@ -199,9 +243,13 @@ struct Instance {
     ready_rel: Vec<f64>,
     /// Finish times relative to arrival (`NAN` until the task completes).
     finish_rel: Vec<f64>,
+    /// Failed attempts per task (machine kills + transient faults).
+    attempts: Vec<usize>,
     tasks_completed: usize,
     tasks_met: usize,
     executed_time: f64,
+    lost_time: f64,
+    retries: usize,
     admitted: bool,
     dropped: bool,
     finish: Option<f64>,
@@ -218,9 +266,33 @@ enum Event {
         inst: usize,
         task: usize,
         machine: usize,
+        /// Identity of the attempt; a mismatch against the machine's
+        /// running attempt means the attempt was killed and the event is
+        /// stale.
+        run_id: u64,
+        /// The attempt was pre-drawn to fail transiently: the duration is
+        /// spent, the result discarded.
+        faulty: bool,
     },
     DeadlineLapse {
         inst: usize,
+    },
+    /// The machine's fault process fires: kill the running attempt,
+    /// freeze the queue.
+    MachineFail {
+        machine: usize,
+    },
+    /// The machine comes back up and resumes its queue.
+    MachineRepair {
+        machine: usize,
+    },
+    /// A recovered task re-enters the queue after its backoff.
+    Redispatch {
+        inst: usize,
+        task: usize,
+        /// Re-choose the machine by backlog (the `resched` policy) rather
+        /// than returning to the static assignment.
+        resched: bool,
     },
 }
 
@@ -261,22 +333,74 @@ struct QueueEntry {
     dur: f64,
 }
 
+/// The attempt currently occupying a machine.
+#[derive(Debug, Clone, Copy)]
+struct RunningTask {
+    run_id: u64,
+    inst: usize,
+    task: usize,
+    dur: f64,
+}
+
 struct Machine {
     busy: bool,
     busy_until: f64,
     queue: Vec<QueueEntry>,
+    /// The running attempt's identity (stale `Finish` events miss it).
+    running: Option<RunningTask>,
+    /// The machine is failed; its queue is frozen until repair.
+    down: bool,
+    /// When the current outage began (defined while `down`).
+    down_since: f64,
+    /// The machine's failure/repair RNG stream; `None` under [`NoFaults`].
+    fault_rng: Option<StdRng>,
+}
+
+/// Fault-side totals of one run, carried into [`OnlineMetrics`].
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultTotals {
+    down_time: f64,
+    machine_failures: usize,
+    killed_tasks: usize,
+    transient_faults: usize,
+    retries: usize,
 }
 
 /// The executor. Construct once, [`run`](DynamicSim::run) a stream.
 pub struct DynamicSim<'p> {
     config: SimConfig,
     policy: &'p dyn DropPolicy,
+    fault: &'p dyn FaultModel,
+    recovery: &'p dyn RecoveryPolicy,
 }
 
 impl<'p> DynamicSim<'p> {
-    /// An executor with the given policy and configuration.
+    /// A fault-free executor with the given policy and configuration
+    /// (machines never fail; the recovery policy is never consulted).
     pub fn new(policy: &'p dyn DropPolicy, config: SimConfig) -> Self {
-        Self { config, policy }
+        static ABANDON: crate::fault::Abandon = crate::fault::Abandon;
+        Self {
+            config,
+            policy,
+            fault: NoFaults::none(),
+            recovery: &ABANDON,
+        }
+    }
+
+    /// An executor injecting `fault` and recovering killed tasks with
+    /// `recovery`. With [`NoFaults`] this is exactly [`DynamicSim::new`].
+    pub fn with_faults(
+        policy: &'p dyn DropPolicy,
+        config: SimConfig,
+        fault: &'p dyn FaultModel,
+        recovery: &'p dyn RecoveryPolicy,
+    ) -> Self {
+        Self {
+            config,
+            policy,
+            fault,
+            recovery,
+        }
     }
 
     /// Runs `stream` to exhaustion and returns per-instance outcomes plus
@@ -290,9 +414,16 @@ impl<'p> DynamicSim<'p> {
         let mut machines: Vec<Machine> = Vec::new();
         let mut heap: BinaryHeap<Reverse<Queued>> = BinaryHeap::new();
         let mut seq = 0u64;
+        let mut run_ids = 0u64;
         let mut first_arrival: Option<f64> = None;
         let mut last_time: f64 = 0.0;
         let mut busy_time = 0.0f64;
+        let mut dist_builds = 0usize;
+        // Admitted instances still in flight — the fault processes fall
+        // silent once the stream is exhausted and this hits zero, so runs
+        // terminate.
+        let mut live = 0usize;
+        let mut faults = FaultTotals::default();
 
         let mut next_arrival = stream.next_arrival();
         loop {
@@ -317,7 +448,32 @@ impl<'p> DynamicSim<'p> {
                         busy: false,
                         busy_until: 0.0,
                         queue: Vec::new(),
+                        running: None,
+                        down: false,
+                        down_since: 0.0,
+                        fault_rng: None,
                     });
+                    if !self.fault.is_fault_free() {
+                        // Arm each machine's failure process. The streams
+                        // derive from a tag space disjoint from the
+                        // instance sub-seeds, so injecting faults never
+                        // perturbs a duration draw.
+                        for (mi, mach) in machines.iter_mut().enumerate() {
+                            let mut rng = StdRng::seed_from_u64(derive_seed(
+                                self.config.seed,
+                                FAULT_STREAM_TAG | mi as u64,
+                            ));
+                            let up = self.fault.sample_uptime(&mut rng);
+                            if up.is_finite() {
+                                heap.push(Reverse(Queued {
+                                    time: arrival.time + up,
+                                    seq: post_inc(&mut seq),
+                                    event: Event::MachineFail { machine: mi },
+                                }));
+                            }
+                            mach.fault_rng = Some(rng);
+                        }
+                    }
                 } else if machines.len() != m {
                     return Err(SimError::MachineMismatch {
                         expected: machines.len(),
@@ -329,7 +485,10 @@ impl<'p> DynamicSim<'p> {
                 let state = match states.get(&fp) {
                     Some(s) => s.clone(),
                     None => {
-                        let schedule = heuristic.schedule(&arrival.scenario)?;
+                        let schedule = match &self.config.schedule {
+                            Some(s) => s.clone(),
+                            None => heuristic.schedule(&arrival.scenario)?,
+                        };
                         let plan = EagerPlan::new(&arrival.scenario.graph.dag, &schedule)?;
                         let det_makespan = plan
                             .execute(
@@ -345,6 +504,7 @@ impl<'p> DynamicSim<'p> {
                             )
                             .makespan;
                         let dists = self.policy.needs_distributions().then(|| {
+                            dist_builds += 1;
                             let disc =
                                 DiscretizedScenario::new(&arrival.scenario, self.config.grid);
                             RemainingDists::build(&arrival.scenario, &schedule, &plan, &disc)
@@ -382,6 +542,7 @@ impl<'p> DynamicSim<'p> {
                     instances[idx].dropped = true;
                     continue;
                 }
+                live += 1;
                 // Queue the entry tasks and arm the deadline reaper.
                 let n = instances[idx].pending.len();
                 for task in 0..n {
@@ -404,6 +565,24 @@ impl<'p> DynamicSim<'p> {
             }
 
             let Reverse(q) = heap.pop().expect("checked above");
+            // Fault processes fall silent once no live work remains (the
+            // events neither extend the horizon nor fire), otherwise the
+            // failure/repair chain would run forever.
+            if matches!(q.event, Event::MachineFail { .. }) && next_arrival.is_none() && live == 0
+            {
+                continue;
+            }
+            // A Finish whose attempt was killed by a machine failure is
+            // stale: the kill already handled the task.
+            if let Event::Finish {
+                machine, run_id, ..
+            } = q.event
+            {
+                let current = machines[machine].running.map(|r| r.run_id);
+                if current != Some(run_id) {
+                    continue;
+                }
+            }
             last_time = last_time.max(q.time);
             match q.event {
                 Event::Ready { inst, task } => {
@@ -426,16 +605,53 @@ impl<'p> DynamicSim<'p> {
                         &mut instances,
                         &mut heap,
                         &mut seq,
+                        &mut run_ids,
                         &mut busy_time,
+                        &mut live,
                     );
                 }
                 Event::Finish {
                     inst,
                     task,
                     machine,
+                    run_id: _,
+                    faulty,
                 } => {
                     machines[machine].busy = false;
+                    let run = machines[machine]
+                        .running
+                        .take()
+                        .expect("validated before last_time");
                     let now = q.time;
+                    if faulty {
+                        // Transient fault: the whole duration is spent and
+                        // the result discarded; recovery decides what next.
+                        faults.transient_faults += 1;
+                        let i = &mut instances[inst];
+                        i.lost_time += run.dur;
+                        i.finish_rel[task] = f64::NAN;
+                        self.fail_task(
+                            inst,
+                            task,
+                            now,
+                            &mut instances,
+                            &mut heap,
+                            &mut seq,
+                            &mut live,
+                        );
+                        self.dispatch(
+                            machine,
+                            now,
+                            &mut machines,
+                            &mut instances,
+                            &mut heap,
+                            &mut seq,
+                            &mut run_ids,
+                            &mut busy_time,
+                            &mut live,
+                        );
+                        continue;
+                    }
                     let i = &mut instances[inst];
                     i.tasks_completed += 1;
                     if now <= i.deadline {
@@ -480,6 +696,7 @@ impl<'p> DynamicSim<'p> {
                             let makespan_rel = i.finish_rel.iter().copied().fold(0.0, f64::max);
                             i.makespan = Some(makespan_rel);
                             i.finish = Some(i.arrival + makespan_rel);
+                            live -= 1;
                         }
                     }
                     self.dispatch(
@@ -489,14 +706,145 @@ impl<'p> DynamicSim<'p> {
                         &mut instances,
                         &mut heap,
                         &mut seq,
+                        &mut run_ids,
                         &mut busy_time,
+                        &mut live,
                     );
                 }
                 Event::DeadlineLapse { inst } => {
                     let i = &mut instances[inst];
                     if i.finish.is_none() && !i.dropped {
                         i.dropped = true;
+                        live -= 1;
                     }
+                }
+                Event::MachineFail { machine } => {
+                    faults.machine_failures += 1;
+                    let now = q.time;
+                    let rng = machines[machine]
+                        .fault_rng
+                        .as_mut()
+                        .expect("fault events require a fault stream");
+                    let downtime = self.fault.sample_downtime(rng);
+                    let up_at = now + downtime;
+                    machines[machine].down = true;
+                    machines[machine].down_since = now;
+                    if let Some(run) = machines[machine].running.take() {
+                        // Kill the running attempt: the spent fraction is
+                        // lost work, the unexecuted remainder is refunded.
+                        machines[machine].busy = false;
+                        let remainder = (machines[machine].busy_until - now).max(0.0);
+                        busy_time -= remainder;
+                        faults.killed_tasks += 1;
+                        let (inst, task) = (run.inst, run.task);
+                        let i = &mut instances[inst];
+                        i.executed_time -= remainder;
+                        i.lost_time += (run.dur - remainder).max(0.0);
+                        i.finish_rel[task] = f64::NAN;
+                        self.fail_task(
+                            inst,
+                            task,
+                            now,
+                            &mut instances,
+                            &mut heap,
+                            &mut seq,
+                            &mut live,
+                        );
+                    }
+                    // The machine is unavailable until repair; queued work
+                    // waits (frozen queue), and post-repair starts rebase
+                    // on the repair time.
+                    machines[machine].busy_until = up_at;
+                    heap.push(Reverse(Queued {
+                        time: up_at,
+                        seq: post_inc(&mut seq),
+                        event: Event::MachineRepair { machine },
+                    }));
+                }
+                Event::MachineRepair { machine } => {
+                    let now = q.time;
+                    faults.down_time += now - machines[machine].down_since;
+                    machines[machine].down = false;
+                    // Re-arm the failure process only while work remains.
+                    if !(next_arrival.is_none() && live == 0) {
+                        let rng = machines[machine]
+                            .fault_rng
+                            .as_mut()
+                            .expect("fault events require a fault stream");
+                        let up = self.fault.sample_uptime(rng);
+                        if up.is_finite() {
+                            heap.push(Reverse(Queued {
+                                time: now + up,
+                                seq: post_inc(&mut seq),
+                                event: Event::MachineFail { machine },
+                            }));
+                        }
+                    }
+                    self.dispatch(
+                        machine,
+                        now,
+                        &mut machines,
+                        &mut instances,
+                        &mut heap,
+                        &mut seq,
+                        &mut run_ids,
+                        &mut busy_time,
+                        &mut live,
+                    );
+                }
+                Event::Redispatch {
+                    inst,
+                    task,
+                    resched,
+                } => {
+                    if instances[inst].dropped {
+                        continue;
+                    }
+                    faults.retries += 1;
+                    instances[inst].retries += 1;
+                    let now = q.time;
+                    let static_m = instances[inst].state.schedule.machine_of(task);
+                    let machine = if resched {
+                        pick_surviving(&machines, &instances, now, static_m)
+                    } else {
+                        static_m
+                    };
+                    let dur = if machine == static_m {
+                        instances[inst].task_dur[task]
+                    } else {
+                        // Moving machines rescales the sampled duration by
+                        // the deterministic cost ratio, preserving the
+                        // draw's luck; communication delays keep their
+                        // static-assignment samples (documented
+                        // approximation).
+                        let i = &instances[inst];
+                        let det_old = i.scenario.det_task_cost(task, static_m);
+                        let det_new = i.scenario.det_task_cost(task, machine);
+                        if det_old > 0.0 {
+                            i.task_dur[task] * (det_new / det_old)
+                        } else {
+                            det_new
+                        }
+                    };
+                    let entry = QueueEntry {
+                        ready_abs: now,
+                        ready_rel: now - instances[inst].arrival,
+                        inst,
+                        task,
+                        dur,
+                    };
+                    machines[machine].queue.push(entry);
+                    self.dispatch(
+                        machine,
+                        now,
+                        &mut machines,
+                        &mut instances,
+                        &mut heap,
+                        &mut seq,
+                        &mut run_ids,
+                        &mut busy_time,
+                        &mut live,
+                    );
                 }
             }
         }
@@ -508,6 +856,8 @@ impl<'p> DynamicSim<'p> {
             first_arrival.unwrap_or(0.0),
             last_time,
             busy_time,
+            faults,
+            dist_builds,
         ))
     }
 
@@ -568,14 +918,58 @@ impl<'p> DynamicSim<'p> {
             pending,
             ready_rel: vec![0.0; n],
             finish_rel: vec![f64::NAN; n],
+            attempts: vec![0; n],
             tasks_completed: 0,
             tasks_met: 0,
             executed_time: 0.0,
+            lost_time: 0.0,
+            retries: 0,
             admitted: true,
             dropped: false,
             finish: None,
             makespan: None,
         }
+    }
+
+    /// A task attempt failed (machine kill or transient fault): count it
+    /// and consult the recovery policy — abandon the instance, or arm a
+    /// re-dispatch after the policy's backoff.
+    #[allow(clippy::too_many_arguments)] // the event loop's whole mutable state
+    fn fail_task(
+        &self,
+        inst: usize,
+        task: usize,
+        now: f64,
+        instances: &mut [Instance],
+        heap: &mut BinaryHeap<Reverse<Queued>>,
+        seq: &mut u64,
+        live: &mut usize,
+    ) {
+        let i = &mut instances[inst];
+        if i.dropped {
+            // Abandoned work gets no recovery; the attempt just dies.
+            return;
+        }
+        i.attempts[task] += 1;
+        let action = self.recovery.on_failure(i.attempts[task]);
+        let (time, resched) = match action {
+            RecoveryAction::Abandon => {
+                i.dropped = true;
+                *live -= 1;
+                return;
+            }
+            RecoveryAction::Retry { delay } => (now + delay, false),
+            RecoveryAction::Resched { delay } => (now + delay, true),
+        };
+        heap.push(Reverse(Queued {
+            time,
+            seq: post_inc(seq),
+            event: Event::Redispatch {
+                inst,
+                task,
+                resched,
+            },
+        }));
     }
 
     /// Starts queued work on `machine` while it is free: pick the entry
@@ -590,9 +984,11 @@ impl<'p> DynamicSim<'p> {
         instances: &mut [Instance],
         heap: &mut BinaryHeap<Reverse<Queued>>,
         seq: &mut u64,
+        run_ids: &mut u64,
         busy_time: &mut f64,
+        live: &mut usize,
     ) {
-        while !machines[machine].busy {
+        while !machines[machine].busy && !machines[machine].down {
             // Deterministic selection: least (ready_abs, inst, task).
             let queue = &machines[machine].queue;
             let Some(best) = queue
@@ -624,9 +1020,21 @@ impl<'p> DynamicSim<'p> {
                 });
                 if !keep {
                     instances[entry.inst].dropped = true;
+                    *live -= 1;
                     continue;
                 }
             }
+            // Transient fate, decided deterministically per attempt from a
+            // seed stream disjoint from every duration draw.
+            let p = self.fault.transient_probability();
+            let faulty = p > 0.0
+                && transient_draw(
+                    self.config.seed,
+                    entry.inst,
+                    entry.task,
+                    instances[entry.inst].attempts[entry.task],
+                    p,
+                );
             let i = &mut instances[entry.inst];
             // Uncontended starts stay in the relative frame (the exact
             // EagerPlan::execute operations); a contended start waits for
@@ -642,6 +1050,13 @@ impl<'p> DynamicSim<'p> {
             let finish_abs = i.arrival + finish_rel;
             machines[machine].busy = true;
             machines[machine].busy_until = finish_abs;
+            let run_id = post_inc(run_ids);
+            machines[machine].running = Some(RunningTask {
+                run_id,
+                dur: entry.dur,
+                inst: entry.inst,
+                task: entry.task,
+            });
             heap.push(Reverse(Queued {
                 time: finish_abs,
                 seq: post_inc(seq),
@@ -649,6 +1064,8 @@ impl<'p> DynamicSim<'p> {
                     inst: entry.inst,
                     task: entry.task,
                     machine,
+                    run_id,
+                    faulty,
                 },
             }));
         }
@@ -660,6 +1077,48 @@ fn post_inc(seq: &mut u64) -> u64 {
     let s = *seq;
     *seq += 1;
     s
+}
+
+/// The per-attempt transient-fault draw: one derived-seed RNG keyed by
+/// `(instance, task, attempt)`, compared against `p` with the top-53-bit
+/// uniform convention. Pure, so re-running an attempt count reproduces
+/// its fate bit for bit.
+fn transient_draw(seed: u64, inst: usize, task: usize, attempt: usize, p: f64) -> bool {
+    let key = TRANSIENT_DRAW_TAG | ((inst as u64) << 20) ^ ((task as u64) << 6) ^ attempt as u64;
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, key));
+    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u < p
+}
+
+/// The `resched` machine choice: least current load (running remainder +
+/// queued live durations) over surviving machines, lowest index on ties;
+/// `fallback` when every machine is down.
+fn pick_surviving(
+    machines: &[Machine],
+    instances: &[Instance],
+    now: f64,
+    fallback: usize,
+) -> usize {
+    let mut best: Option<(f64, usize)> = None;
+    for (mi, m) in machines.iter().enumerate() {
+        if m.down {
+            continue;
+        }
+        let mut load = if m.busy && m.busy_until > now {
+            m.busy_until - now
+        } else {
+            0.0
+        };
+        for entry in &m.queue {
+            if !instances[entry.inst].dropped {
+                load += entry.dur;
+            }
+        }
+        if best.is_none_or(|(b, _)| load < b) {
+            best = Some((load, mi));
+        }
+    }
+    best.map_or(fallback, |(_, mi)| mi)
 }
 
 /// Mean per-machine work ahead at `now`: running remainders plus queued
@@ -689,11 +1148,18 @@ fn finalize(
     first_arrival: f64,
     last_time: f64,
     busy_time: f64,
+    faults: FaultTotals,
+    dist_builds: usize,
 ) -> SimResult {
     let mut metrics = OnlineMetrics {
         machines,
         busy_time,
         horizon: (last_time - first_arrival).max(0.0),
+        down_time: faults.down_time,
+        machine_failures: faults.machine_failures,
+        killed_tasks: faults.killed_tasks,
+        transient_faults: faults.transient_faults,
+        retries: faults.retries,
         ..Default::default()
     };
     let mut outcomes = Vec::with_capacity(instances.len());
@@ -710,11 +1176,14 @@ fn finalize(
             tasks_completed: i.tasks_completed,
             tasks_met: i.tasks_met,
             executed_time: i.executed_time,
+            lost_time: i.lost_time,
+            retries: i.retries,
         };
         metrics.instances += 1;
         metrics.tasks_total += outcome.tasks;
         metrics.tasks_completed += outcome.tasks_completed;
         metrics.tasks_met += outcome.tasks_met;
+        metrics.lost_time += outcome.lost_time;
         if outcome.admitted {
             metrics.admitted += 1;
             if outcome.dropped {
@@ -728,10 +1197,18 @@ fn finalize(
         }
         if outcome.met_deadline() {
             metrics.workflows_met += 1;
+            // Failed attempts of an on-time instance are still wasted
+            // machine-time (zero without faults, so the fault-free sum is
+            // bit-identical to the pre-fault executor's).
+            metrics.wasted_time += outcome.lost_time;
         } else {
             metrics.wasted_time += outcome.executed_time;
         }
         outcomes.push(outcome);
     }
-    SimResult { outcomes, metrics }
+    SimResult {
+        outcomes,
+        metrics,
+        dist_builds,
+    }
 }

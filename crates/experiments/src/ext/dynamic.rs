@@ -68,6 +68,13 @@ const DEADLINE_FACTOR: f64 = 3.0;
 /// small sizes plus the three committed real-workflow traces, all on the
 /// default 8-machine reference platform.
 pub fn workload_pool(seed: u64) -> Vec<Arc<Scenario>> {
+    named_workload_pool(seed).into_iter().map(|(_, s)| s).collect()
+}
+
+/// [`workload_pool`] with stable workload names — the pool recorded
+/// `(time, workload)` arrival logs resolve against (see
+/// [`robusched_dynamic::ReplayStream::from_csv`]).
+pub fn named_workload_pool(seed: u64) -> Vec<(String, Arc<Scenario>)> {
     let cal = TraceCalibration::default();
     let mut pool = Vec::with_capacity(8);
     // Sizes chosen so every class lands near 10–14 tasks (comparable per-
@@ -81,17 +88,23 @@ pub fn workload_pool(seed: u64) -> Vec<Arc<Scenario>> {
     ];
     for (i, (class, n)) in sizes.into_iter().enumerate() {
         let s = derive_seed(seed, 100 + i as u64);
-        pool.push(Arc::new(Scenario::structured_app(
-            class.generate(n, s),
-            cal.machines,
-            cal.speed_cov,
-            UL,
-            s,
-        )));
+        pool.push((
+            format!("{}-{n}", class.name()),
+            Arc::new(Scenario::structured_app(
+                class.generate(n, s),
+                cal.machines,
+                cal.speed_cov,
+                UL,
+                s,
+            )),
+        ));
     }
     for (i, trace) in crate::ext::traces::sample_traces().iter().enumerate() {
         let s = derive_seed(seed, 200 + i as u64);
-        pool.push(Arc::new(Scenario::from_trace_with(trace, &cal, UL, s)));
+        pool.push((
+            trace.name.clone(),
+            Arc::new(Scenario::from_trace_with(trace, &cal, UL, s)),
+        ));
     }
     pool
 }
@@ -243,7 +256,7 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Dynamic> {
 
 /// Header of [`summary_csv`] — the schema `tests/ext_dynamic.rs` locks in.
 pub const SUMMARY_HEADER: &str = "oversub,policy,instances,admitted,rejected,dropped,completed,\
-workflows_met,hit_rate,task_hit_rate,wasted_frac,utilization";
+workflows_met,hit_rate,task_hit_rate,wasted_frac,utilization,eff_utilization";
 
 /// One row per sweep cell.
 pub fn summary_csv(d: &Dynamic) -> String {
@@ -251,7 +264,7 @@ pub fn summary_csv(d: &Dynamic) -> String {
     for c in &d.cells {
         let m = &c.metrics;
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4}\n",
+            "{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
             c.oversub,
             c.policy,
             m.instances,
@@ -264,6 +277,7 @@ pub fn summary_csv(d: &Dynamic) -> String {
             m.task_hit_rate(),
             m.wasted_fraction(),
             m.utilization(),
+            m.effective_utilization(),
         ));
     }
     out

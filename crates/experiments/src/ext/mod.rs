@@ -12,11 +12,13 @@
 //! | [`mc_convergence`] | the cost of the ground truth: realization-budget convergence of σ/L/h per Monte-Carlo estimator (plain, antithetic, stratified) vs the classic baseline |
 //! | [`traces`] | scenario realism beyond generators: the correlation protocol on ingested real-workflow traces (DAX / WfCommons / DOT) |
 //! | [`dynamic`] | robustness *online*: arrival-driven execution under oversubscription — which dropping policy keeps the most work inside its deadlines? |
+//! | [`faults`] | robustness against the *platform*: machine failure/repair processes and transient task faults vs recovery policies (abandon / retry / reschedule), plus whether the offline metric cluster still ranks schedules under faults |
 
 pub mod apps;
 pub mod backends;
 pub mod distributions;
 pub mod dynamic;
+pub mod faults;
 pub mod grid_resolution;
 pub mod mc_convergence;
 pub mod pareto;

@@ -74,7 +74,7 @@ fn run_fig6(opts: &RunOptions) -> std::io::Result<String> {
     Ok(figs::fig6::render(&f))
 }
 
-static REGISTRY: [ExperimentEntry; 21] = [
+static REGISTRY: [ExperimentEntry; 22] = [
     ExperimentEntry {
         name: "fig1",
         about: "KS/CM accuracy of the independence assumption vs graph size",
@@ -191,6 +191,12 @@ static REGISTRY: [ExperimentEntry; 21] = [
         run: |o| Ok(ext::dynamic::render(&ext::dynamic::run(o)?)),
     },
     ExperimentEntry {
+        name: "ext-faults",
+        about: "machine faults and recovery policies (abandon/retry/resched): goodput and metric rankings",
+        group: ExperimentGroup::Extension,
+        run: |o| Ok(ext::faults::render(&ext::faults::run(o)?)),
+    },
+    ExperimentEntry {
         name: "serve",
         about: "line-delimited JSON evaluation server over stdin/stdout (EvalService)",
         group: ExperimentGroup::Service,
@@ -244,10 +250,10 @@ mod tests {
     #[test]
     fn every_entry_resolvable_and_unique() {
         let mut names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 22);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 21, "duplicate experiment names");
+        assert_eq!(names.len(), 22, "duplicate experiment names");
         for e in registry() {
             let found = experiment_by_name(e.name()).expect("resolvable");
             assert_eq!(found.name(), e.name());
@@ -271,7 +277,7 @@ mod tests {
             .filter(|e| e.group() == ExperimentGroup::Service)
             .count();
         assert_eq!(figures, 9);
-        assert_eq!(extensions, 10);
+        assert_eq!(extensions, 11);
         assert_eq!(service, 2);
     }
 

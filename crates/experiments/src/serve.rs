@@ -49,7 +49,12 @@
 //! (`policy` is any [`robusched_dynamic::policy_by_spec`] spec;
 //! `oversub` scales the Poisson arrival rate against platform capacity;
 //! `instances` is capped at 2000 because the simulation runs synchronously
-//! on the reader thread — responses stay strictly in request order.)
+//! on the reader thread — responses stay strictly in request order.
+//! Optional `"fault"` / `"recovery"` fields inject machine failures and a
+//! recovery policy — any [`robusched_dynamic::fault_by_spec`] /
+//! [`robusched_dynamic::recovery_by_spec`] spec, e.g. `"exp@300:30"` with
+//! `"retry@3"` — and the response then also carries goodput, effective
+//! utilization, and the fault counters.)
 //!
 //! `serve-load` is the self-driving twin: it generates a deterministic
 //! request mix against the same service (no I/O on the hot path), measures
@@ -261,6 +266,15 @@ impl DynamicRunner {
         let policy_spec = spec.get("policy").and_then(Json::as_str).unwrap_or("never");
         let policy = robusched_dynamic::policy_by_spec(policy_spec)
             .ok_or_else(|| format!("unknown dropping policy '{policy_spec}'"))?;
+        let fault_spec = spec.get("fault").and_then(Json::as_str).unwrap_or("none");
+        let fault = robusched_dynamic::fault_by_spec(fault_spec)
+            .ok_or_else(|| format!("unknown fault model '{fault_spec}'"))?;
+        let recovery_spec = spec
+            .get("recovery")
+            .and_then(Json::as_str)
+            .unwrap_or("abandon");
+        let recovery = robusched_dynamic::recovery_by_spec(recovery_spec)
+            .ok_or_else(|| format!("unknown recovery policy '{recovery_spec}'"))?;
         let oversub = match spec.get("oversub") {
             None => 1.0,
             Some(v) => v
@@ -300,13 +314,16 @@ impl DynamicRunner {
             seed: robusched_randvar::derive_seed(seed, 2),
             ..Default::default()
         };
-        let result = robusched_dynamic::DynamicSim::new(policy.as_ref(), config)
-            .run(&mut stream)
-            .map_err(|e| e.to_string())?;
+        let result =
+            robusched_dynamic::DynamicSim::with_faults(policy.as_ref(), config, fault.as_ref(), recovery.as_ref())
+                .run(&mut stream)
+                .map_err(|e| e.to_string())?;
         let m = &result.metrics;
         let count = |n: usize| Json::Num(n as f64);
         Ok(Json::Obj(vec![
             ("policy".into(), Json::Str(policy_spec.to_string())),
+            ("fault".into(), Json::Str(fault_spec.to_string())),
+            ("recovery".into(), Json::Str(recovery_spec.to_string())),
             ("instances".into(), count(m.instances)),
             ("admitted".into(), count(m.admitted)),
             ("rejected".into(), count(m.rejected)),
@@ -317,6 +334,12 @@ impl DynamicRunner {
             ("task_hit_rate".into(), Json::Num(m.task_hit_rate())),
             ("wasted_frac".into(), Json::Num(m.wasted_fraction())),
             ("utilization".into(), Json::Num(m.utilization())),
+            ("eff_utilization".into(), Json::Num(m.effective_utilization())),
+            ("goodput".into(), Json::Num(m.goodput())),
+            ("machine_failures".into(), count(m.machine_failures)),
+            ("killed_tasks".into(), count(m.killed_tasks)),
+            ("transient_faults".into(), count(m.transient_faults)),
+            ("retries".into(), count(m.retries)),
         ]))
     }
 }
