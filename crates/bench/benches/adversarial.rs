@@ -1,0 +1,93 @@
+//! Adversarial-search benchmarks: the `adversarial/*` group.
+//!
+//! Covers the cost structure of the PISA-style search: a single
+//! perturbation proposal (the per-step move cost), one objective
+//! evaluation (the per-step dominant cost — a full 160-schedule streamed
+//! study), one short annealing chain, and a reduced-scale pass of the
+//! whole `ext-adversarial` study. `scripts/bench_diff.py` gates
+//! regressions on all of them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robusched_core::{anneal, AnnealConfig, ClusterDeficit, Objective};
+use robusched_experiments::ext::adversarial;
+use robusched_experiments::ext::traces::sample_trace;
+use robusched_experiments::RunOptions;
+use robusched_stochastic::perturb::{perturbation_by_name, SearchPoint};
+use std::hint::black_box;
+
+fn start_point() -> SearchPoint {
+    SearchPoint::from_trace(sample_trace("montage-like").unwrap(), 8, 0.5, 1.1, 7)
+}
+
+fn perturb_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adversarial");
+    let point = start_point();
+    for name in ["rewire", "task-scale", "reseed"] {
+        let op = perturbation_by_name(name).unwrap();
+        g.bench_function(format!("perturb-{name}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(op.apply(black_box(&point), seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn objective_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adversarial");
+    g.sample_size(10);
+    let scenario = start_point().to_scenario();
+    g.bench_function("objective-cluster-deficit-160", |b| {
+        b.iter(|| {
+            black_box(
+                ClusterDeficit
+                    .evaluate(black_box(&scenario), 160, 5)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn anneal_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adversarial");
+    g.sample_size(10);
+    let point = start_point();
+    let cfg = AnnealConfig {
+        steps: 4,
+        schedules: 24,
+        seed: 3,
+        replayable_only: true,
+        ..Default::default()
+    };
+    g.bench_function("anneal-4steps-24sched", |b| {
+        b.iter(|| black_box(anneal(black_box(&point), &ClusterDeficit, &cfg).unwrap()))
+    });
+    g.finish();
+}
+
+fn study_reduced(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adversarial");
+    g.sample_size(10);
+    let opts = RunOptions {
+        scale: 0.01,
+        out_dir: None,
+        seed: 99,
+        threads: None,
+    };
+    g.bench_function("study-scale-0.01", |b| {
+        b.iter(|| black_box(adversarial::run(&opts).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    perturb_step,
+    objective_eval,
+    anneal_chain,
+    study_reduced
+);
+criterion_main!(benches);

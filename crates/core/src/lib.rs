@@ -31,12 +31,17 @@
 //! instead of materializing every row. The legacy [`run_case`] remains as
 //! a deprecated buffering shim.
 
+pub mod adversarial;
 pub mod metrics;
 pub mod optimize;
 pub mod service;
 pub mod streaming;
 pub mod study;
 
+pub use adversarial::{
+    anneal, objective_by_name, objective_registry, AnnealConfig, AnnealResult, AnnealStats,
+    ClusterDeficit, HeuristicRegret, Objective, ObjectiveReport, RankGap,
+};
 pub use metrics::{
     compute_metrics, distribution_stats, metric_index, DistributionStats, MetricOptions,
     MetricValues, OnlineMetrics, METRIC_LABELS,

@@ -293,9 +293,9 @@ impl OnlineMetrics {
     }
 
     /// Utilization of the capacity that actually existed: busy time over
-    /// `m × horizon` minus outage time. Equal to [`utilization`]
-    /// (OnlineMetrics::utilization) without faults; under faults it
-    /// separates "machines idle" from "machines gone".
+    /// `m × horizon` minus outage time. Equal to
+    /// [`utilization`](OnlineMetrics::utilization) without faults; under
+    /// faults it separates "machines idle" from "machines gone".
     pub fn effective_utilization(&self) -> f64 {
         let cap = self.machines as f64 * self.horizon - self.down_time;
         if cap <= 0.0 {

@@ -124,6 +124,39 @@ pub struct TraceDag {
 }
 
 impl TraceDag {
+    /// Assembles a trace programmatically — the entry point for callers
+    /// that *construct* traces instead of parsing them (the adversarial
+    /// perturbation layer rebuilds mutated traces through here). `tasks`
+    /// is `(name, flops)` in id order; `edges` is `(src, dst, bytes)` over
+    /// those ids, duplicates merging their byte volumes.
+    ///
+    /// Runs exactly the validation the file parsers run: duplicate names,
+    /// self-loops, cycles, non-finite/negative weights and all-zero work
+    /// are rejected with a [`ParseError`], never a panic — so every
+    /// invariant the doc comment above guarantees holds for built traces
+    /// too. Out-of-range edge ids are rejected as unknown tasks.
+    pub fn from_parts(
+        name: impl Into<String>,
+        tasks: &[(String, f64)],
+        edges: &[(NodeId, NodeId, f64)],
+    ) -> Result<TraceDag, ParseError> {
+        let name = name.into();
+        let mut b = TraceBuilder::new();
+        for (task, flops) in tasks {
+            b.add_task(task, *flops)?;
+        }
+        for &(src, dst, bytes) in edges {
+            if src >= tasks.len() || dst >= tasks.len() {
+                return Err(ParseError::new(format!(
+                    "edge ({src}, {dst}) references a task outside 0..{}",
+                    tasks.len()
+                )));
+            }
+            b.add_edge(src, dst, bytes)?;
+        }
+        b.finish(name)
+    }
+
     /// Number of tasks.
     pub fn task_count(&self) -> usize {
         self.tasks.len()

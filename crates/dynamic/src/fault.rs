@@ -274,9 +274,9 @@ pub fn fault_by_spec(spec: &str) -> Option<Box<dyn FaultModel>> {
         }
         "trans" if transient == 0.0 => {
             let p: f64 = params.parse().ok()?;
-            (0.0..=1.0).contains(&p).then(|| {
-                Box::new(TransientFaults { p }) as Box<dyn FaultModel>
-            })
+            (0.0..=1.0)
+                .contains(&p)
+                .then(|| Box::new(TransientFaults { p }) as Box<dyn FaultModel>)
         }
         _ => None,
     }

@@ -568,8 +568,7 @@ impl<'p> DynamicSim<'p> {
             // Fault processes fall silent once no live work remains (the
             // events neither extend the horizon nor fire), otherwise the
             // failure/repair chain would run forever.
-            if matches!(q.event, Event::MachineFail { .. }) && next_arrival.is_none() && live == 0
-            {
+            if matches!(q.event, Event::MachineFail { .. }) && next_arrival.is_none() && live == 0 {
                 continue;
             }
             // A Finish whose attempt was killed by a machine failure is

@@ -126,10 +126,7 @@ impl ReplayStream {
     /// each workload name against `workloads` (a named scenario pool).
     /// Arrival times must be finite and non-negative; the stream is
     /// sorted like [`ReplayStream::new`], so logs may be unordered.
-    pub fn from_csv(
-        text: &str,
-        workloads: &[(String, Arc<Scenario>)],
-    ) -> Result<Self, String> {
+    pub fn from_csv(text: &str, workloads: &[(String, Arc<Scenario>)]) -> Result<Self, String> {
         let mut arrivals = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -219,10 +216,8 @@ mod tests {
     #[test]
     fn replay_from_csv_parses_and_resolves_workloads() {
         let p = pool();
-        let named: Vec<(String, Arc<Scenario>)> = vec![
-            ("small".into(), p[0].clone()),
-            ("big".into(), p[1].clone()),
-        ];
+        let named: Vec<(String, Arc<Scenario>)> =
+            vec![("small".into(), p[0].clone()), ("big".into(), p[1].clone())];
         let text = "time,workload\n# a comment\n3.5,big\n\n1.25, small\n2.0,big\n";
         let mut s = ReplayStream::from_csv(text, &named).unwrap();
         assert_eq!(s.len(), 3);

@@ -68,7 +68,10 @@ const DEADLINE_FACTOR: f64 = 3.0;
 /// small sizes plus the three committed real-workflow traces, all on the
 /// default 8-machine reference platform.
 pub fn workload_pool(seed: u64) -> Vec<Arc<Scenario>> {
-    named_workload_pool(seed).into_iter().map(|(_, s)| s).collect()
+    named_workload_pool(seed)
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect()
 }
 
 /// [`workload_pool`] with stable workload names — the pool recorded

@@ -158,11 +158,13 @@ impl Faults {
     /// 1 − A) still ranks schedules under faults — every cluster metric
     /// correlates positively with the faulted miss-rate.
     pub fn cluster_ranks_under_faults(&self) -> bool {
-        ["makespan_std", "avg_lateness", "abs_prob"].iter().all(|m| {
-            self.ranking
-                .iter()
-                .any(|r| r.metric == *m && r.spearman > 0.0)
-        })
+        ["makespan_std", "avg_lateness", "abs_prob"]
+            .iter()
+            .all(|m| {
+                self.ranking
+                    .iter()
+                    .any(|r| r.metric == *m && r.spearman > 0.0)
+            })
     }
 
     /// The ranking row of one metric label.
@@ -222,9 +224,10 @@ pub fn run(opts: &RunOptions) -> std::io::Result<Faults> {
             seed: derive_seed(cell_seed, 2),
             ..SimConfig::default()
         };
-        let result = DynamicSim::with_faults(policy.as_ref(), config, fault.as_ref(), recovery.as_ref())
-            .run(&mut stream)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let result =
+            DynamicSim::with_faults(policy.as_ref(), config, fault.as_ref(), recovery.as_ref())
+                .run(&mut stream)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
         Ok(CellResult {
             oversub,
             fault: fault_label.to_string(),
@@ -333,9 +336,10 @@ fn ranking_phase(opts: &RunOptions) -> std::io::Result<(Vec<RankingRow>, usize)>
             schedule: Some(sched.clone()),
             ..SimConfig::default()
         };
-        let result = DynamicSim::with_faults(policy.as_ref(), config, fault.as_ref(), recovery.as_ref())
-            .run(&mut stream)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let result =
+            DynamicSim::with_faults(policy.as_ref(), config, fault.as_ref(), recovery.as_ref())
+                .run(&mut stream)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
         miss_rates.push(1.0 - result.metrics.workflow_hit_rate());
     }
 
@@ -411,11 +415,7 @@ pub fn render(d: &Faults) -> String {
         for &f in &FAULTS {
             out.push_str(&format!("\noversubscription ×{o}, faults {f}\n"));
             out.push_str("  recovery   hit-rate  goodput  wasted  eff-util  retries/inst  kills\n");
-            for c in d
-                .cells
-                .iter()
-                .filter(|c| c.oversub == o && c.fault == f)
-            {
+            for c in d.cells.iter().filter(|c| c.oversub == o && c.fault == f) {
                 let m = &c.metrics;
                 out.push_str(&format!(
                     "  {:<10} {:>7.3} {:>8.3} {:>7.3} {:>9.3} {:>13.3} {:>6}\n",

@@ -13,7 +13,9 @@
 //! | [`traces`] | scenario realism beyond generators: the correlation protocol on ingested real-workflow traces (DAX / WfCommons / DOT) |
 //! | [`dynamic`] | robustness *online*: arrival-driven execution under oversubscription — which dropping policy keeps the most work inside its deadlines? |
 //! | [`faults`] | robustness against the *platform*: machine failure/repair processes and transient task faults vs recovery policies (abandon / retry / reschedule), plus whether the offline metric cluster still ranks schedules under faults |
+//! | [`adversarial`] | the averaging blind spot: PISA-style simulated annealing over scenario space, searching for instances where the metric-equivalence cluster (or heuristic agreement) *breaks* |
 
+pub mod adversarial;
 pub mod apps;
 pub mod backends;
 pub mod distributions;

@@ -74,7 +74,7 @@ fn run_fig6(opts: &RunOptions) -> std::io::Result<String> {
     Ok(figs::fig6::render(&f))
 }
 
-static REGISTRY: [ExperimentEntry; 22] = [
+static REGISTRY: [ExperimentEntry; 23] = [
     ExperimentEntry {
         name: "fig1",
         about: "KS/CM accuracy of the independence assumption vs graph size",
@@ -197,6 +197,12 @@ static REGISTRY: [ExperimentEntry; 22] = [
         run: |o| Ok(ext::faults::render(&ext::faults::run(o)?)),
     },
     ExperimentEntry {
+        name: "ext-adversarial",
+        about: "adversarial scenario search (PISA-style): annealing chains that break the metric cluster",
+        group: ExperimentGroup::Extension,
+        run: |o| Ok(ext::adversarial::render(&ext::adversarial::run(o)?)),
+    },
+    ExperimentEntry {
         name: "serve",
         about: "line-delimited JSON evaluation server over stdin/stdout (EvalService)",
         group: ExperimentGroup::Service,
@@ -250,10 +256,10 @@ mod tests {
     #[test]
     fn every_entry_resolvable_and_unique() {
         let mut names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 22);
+        assert_eq!(names.len(), 23);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 22, "duplicate experiment names");
+        assert_eq!(names.len(), 23, "duplicate experiment names");
         for e in registry() {
             let found = experiment_by_name(e.name()).expect("resolvable");
             assert_eq!(found.name(), e.name());
@@ -277,7 +283,7 @@ mod tests {
             .filter(|e| e.group() == ExperimentGroup::Service)
             .count();
         assert_eq!(figures, 9);
-        assert_eq!(extensions, 11);
+        assert_eq!(extensions, 12);
         assert_eq!(service, 2);
     }
 

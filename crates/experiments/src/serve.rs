@@ -314,10 +314,14 @@ impl DynamicRunner {
             seed: robusched_randvar::derive_seed(seed, 2),
             ..Default::default()
         };
-        let result =
-            robusched_dynamic::DynamicSim::with_faults(policy.as_ref(), config, fault.as_ref(), recovery.as_ref())
-                .run(&mut stream)
-                .map_err(|e| e.to_string())?;
+        let result = robusched_dynamic::DynamicSim::with_faults(
+            policy.as_ref(),
+            config,
+            fault.as_ref(),
+            recovery.as_ref(),
+        )
+        .run(&mut stream)
+        .map_err(|e| e.to_string())?;
         let m = &result.metrics;
         let count = |n: usize| Json::Num(n as f64);
         Ok(Json::Obj(vec![
@@ -334,7 +338,10 @@ impl DynamicRunner {
             ("task_hit_rate".into(), Json::Num(m.task_hit_rate())),
             ("wasted_frac".into(), Json::Num(m.wasted_fraction())),
             ("utilization".into(), Json::Num(m.utilization())),
-            ("eff_utilization".into(), Json::Num(m.effective_utilization())),
+            (
+                "eff_utilization".into(),
+                Json::Num(m.effective_utilization()),
+            ),
             ("goodput".into(), Json::Num(m.goodput())),
             ("machine_failures".into(), count(m.machine_failures)),
             ("killed_tasks".into(), count(m.killed_tasks)),

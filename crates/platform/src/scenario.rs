@@ -145,9 +145,32 @@ impl Scenario {
     /// fast for one kernel is fast for all of them, the regime real
     /// dense-linear-algebra platforms live in.
     pub fn structured_app(graph: TaskGraph, m: usize, speed_cov: f64, ul: f64, seed: u64) -> Self {
+        Self::structured_app_unrelated(graph, m, speed_cov, 0.1, ul, seed)
+    }
+
+    /// [`Scenario::structured_app`] with the unrelatedness noise exposed as
+    /// a knob instead of the fixed 10 % — the perturbation layer of the
+    /// adversarial search nudges it. `unrelatedness = 0` gives a perfectly
+    /// consistent platform (every machine's cost is `work / speed`
+    /// exactly); larger values blur the speed ordering per task. The seed
+    /// contract is unchanged: `derive_seed(seed, 3)` draws the speeds,
+    /// `derive_seed(seed, 4)` the noise, so `unrelatedness = 0.1`
+    /// reproduces [`Scenario::structured_app`] bit for bit.
+    pub fn structured_app_unrelated(
+        graph: TaskGraph,
+        m: usize,
+        speed_cov: f64,
+        unrelatedness: f64,
+        ul: f64,
+        seed: u64,
+    ) -> Self {
         let speeds = crate::costs::machine_speeds(m, speed_cov, derive_seed(seed, 3));
-        let costs =
-            CostMatrix::related_method(&graph.task_work, &speeds, 0.1, derive_seed(seed, 4));
+        let costs = CostMatrix::related_method(
+            &graph.task_work,
+            &speeds,
+            unrelatedness,
+            derive_seed(seed, 4),
+        );
         let platform = Platform::paper_default(m);
         Self::new(graph, platform, costs, UncertaintyModel::paper(ul))
     }

@@ -46,6 +46,7 @@ pub mod disjunctive;
 pub mod dodin;
 pub mod evaluator;
 pub mod montecarlo;
+pub mod perturb;
 pub mod spelde;
 
 pub use accuracy::AccuracyReport;
@@ -61,4 +62,8 @@ pub use evaluator::{
     MonteCarloEvaluator, PreparedScenario, SpeldeEvaluator,
 };
 pub use montecarlo::{mc_makespans, mc_makespans_prepared, McConfig, McEstimator, McScratch};
+pub use perturb::{
+    perturbation_by_name, perturbation_registry, replayable_perturbations, Perturbation,
+    SearchPoint,
+};
 pub use spelde::{evaluate_spelde, SpeldeResult};

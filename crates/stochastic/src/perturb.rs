@@ -1,0 +1,730 @@
+//! Seed-deterministic scenario perturbations — the move set of the
+//! adversarial (PISA-style) search.
+//!
+//! Every study so far *averages* over random scenarios; the adversarial
+//! search instead walks scenario space looking for instances that maximize
+//! disagreement between robustness metrics or heuristics. This module
+//! provides the walk's state and its moves:
+//!
+//! * [`SearchPoint`] — a compact, replayable description of one scenario:
+//!   a [`TraceDag`] (structure + task/edge weights) plus the platform
+//!   knobs of [`Scenario::structured_app_unrelated`] (machine count, speed
+//!   CoV, unrelatedness noise, uncertainty level, realization seed) and an
+//!   optional per-task UL vector. [`SearchPoint::to_scenario`] materializes
+//!   it; a point with default unrelatedness and no per-task ULs replays
+//!   through `Scenario::from_trace` alone, which is what lets found
+//!   counterexamples be committed as WfCommons JSON and re-evaluated later
+//!   ([`SearchPoint::replays_from_trace`]).
+//! * [`Perturbation`] — an object-safe move operator with a registry
+//!   ([`perturbation_registry`] / [`perturbation_by_name`]), mirroring the
+//!   `DropPolicy` registry of `robusched_dynamic`. Each operator is a
+//!   *pure function* of `(point, seed)`: the same inputs yield the same
+//!   proposal bit for bit, which is what keeps the sharded annealing
+//!   chains reproducible at any thread count.
+//!
+//! ## The operator contract
+//!
+//! [`Perturbation::apply`] returns `Some(neighbour)` only when the
+//! neighbour's *induced scenario* genuinely differs — i.e.
+//! [`scenario_fingerprint`] changes — and
+//! `None` when no valid move exists for the drawn randomness (e.g. a
+//! rewire that would break acyclicity, a machine removal at the floor).
+//! Structural moves preserve every [`TraceDag`] validity invariant
+//! (acyclicity, finite non-negative weights, positive total work) *and*
+//! the entry/exit node sets, so a single-source/single-sink workflow stays
+//! single-source/single-sink. All of this is pinned by
+//! `crates/stochastic/tests/proptest_perturb.rs`.
+//!
+//! Weight moves act on the trace's *relative* sizes deliberately: the
+//! trace → `TaskGraph` conversion renormalizes mean work to the paper's
+//! `μ_task = 20`, so a uniform rescale of every flop count would be a
+//! no-op. Skewing one task (or one edge) at a time is the only scale move
+//! that survives normalization, and the operators verify survival by
+//! comparing the normalized work/volume vectors bitwise before reporting
+//! a change.
+
+use crate::scenario_fingerprint;
+use robusched_dag::parsers::TraceDag;
+use robusched_dag::NodeId;
+use robusched_platform::Scenario;
+use robusched_randvar::{derive_seed, SplitMix64};
+
+/// The unrelatedness noise `Scenario::from_trace` bakes in (10 %); a
+/// [`SearchPoint`] at this value (and without per-task ULs) replays
+/// through `from_trace` alone.
+pub const DEFAULT_UNRELATEDNESS: f64 = 0.1;
+
+/// Bounds the UL jitter operator: per-task uncertainty levels stay in
+/// `[1 + 1e-6, UL_MAX]`.
+pub const UL_MAX: f64 = 3.0;
+
+/// Bounds the speed-CoV nudge: `[0, SPEED_COV_MAX]`.
+pub const SPEED_COV_MAX: f64 = 1.5;
+
+/// Bounds the unrelatedness nudge: `[0, UNRELATEDNESS_MAX]`.
+pub const UNRELATEDNESS_MAX: f64 = 0.6;
+
+/// Machine-count bounds for the add/remove operators.
+pub const MACHINES_MIN: usize = 2;
+/// Upper machine-count bound (see [`MACHINES_MIN`]).
+pub const MACHINES_MAX: usize = 32;
+
+/// One point of the adversarial search space: a trace plus the platform
+/// knobs that turn it into a [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct SearchPoint {
+    /// Workflow structure and task/edge weights.
+    pub trace: TraceDag,
+    /// Machines of the platform (`≥ MACHINES_MIN`).
+    pub machines: usize,
+    /// Coefficient of variation of the machine speeds.
+    pub speed_cov: f64,
+    /// Unrelatedness noise CV of the cost matrix
+    /// ([`DEFAULT_UNRELATEDNESS`] replays through `from_trace`).
+    pub unrelatedness: f64,
+    /// Global uncertainty level (`≥ 1`).
+    pub ul: f64,
+    /// Platform realization seed (speeds + cost noise).
+    pub seed: u64,
+    /// Optional per-task uncertainty levels (the variable-UL extension);
+    /// `None` keeps the global level everywhere.
+    pub per_task_ul: Option<Vec<f64>>,
+}
+
+impl SearchPoint {
+    /// A point with the `ext-traces` study's default platform knobs.
+    pub fn from_trace(
+        trace: TraceDag,
+        machines: usize,
+        speed_cov: f64,
+        ul: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            trace,
+            machines,
+            speed_cov,
+            unrelatedness: DEFAULT_UNRELATEDNESS,
+            ul,
+            seed,
+            per_task_ul: None,
+        }
+    }
+
+    /// Materializes the scenario this point describes. Deterministic: the
+    /// same point always yields the same scenario bit for bit.
+    pub fn to_scenario(&self) -> Scenario {
+        let s = Scenario::structured_app_unrelated(
+            self.trace.to_task_graph(),
+            self.machines,
+            self.speed_cov,
+            self.unrelatedness,
+            self.ul,
+            self.seed,
+        );
+        match &self.per_task_ul {
+            Some(uls) => s.with_per_task_ul(uls.clone()),
+            None => s,
+        }
+    }
+
+    /// The induced scenario's fingerprint (the equality oracle of the
+    /// operator contract).
+    pub fn fingerprint(&self) -> u64 {
+        scenario_fingerprint(&self.to_scenario())
+    }
+
+    /// Whether `Scenario::from_trace(&trace, machines, speed_cov, ul,
+    /// seed)` reproduces [`SearchPoint::to_scenario`] exactly — the
+    /// condition for a found counterexample to be committable as a
+    /// WfCommons file plus four CSV knobs.
+    pub fn replays_from_trace(&self) -> bool {
+        self.per_task_ul.is_none() && self.unrelatedness == DEFAULT_UNRELATEDNESS
+    }
+}
+
+/// A seed-deterministic move operator on [`SearchPoint`]s. Object-safe;
+/// the annealing driver holds `Box<dyn Perturbation>`s from the registry.
+pub trait Perturbation: Send + Sync {
+    /// Registry name (e.g. `"rewire"`, `"task-scale"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether proposals keep [`SearchPoint::replays_from_trace`] intact.
+    /// The gallery search restricts itself to operators answering `true`.
+    fn preserves_from_trace_replay(&self) -> bool {
+        true
+    }
+
+    /// Proposes a neighbour of `point`. Pure in `(point, seed)`; returns
+    /// `None` when the drawn move is invalid or would not change the
+    /// induced scenario (see the module docs for the full contract).
+    fn apply(&self, point: &SearchPoint, seed: u64) -> Option<SearchPoint>;
+}
+
+/// Uniform draw in `[0, 1)` from the top 53 bits.
+fn u01(sm: &mut SplitMix64) -> f64 {
+    (sm.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform index in `0..n` (`n` tiny here, modulo bias immaterial).
+fn index(sm: &mut SplitMix64, n: usize) -> usize {
+    (sm.next_u64() % n as u64) as usize
+}
+
+/// ±1 with equal probability.
+fn sign(sm: &mut SplitMix64) -> f64 {
+    if sm.next_u64() & 1 == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// A multiplicative factor log-uniform in `±[lo, hi]` octaves around 1,
+/// never in the dead zone near 1 (so a drawn move is always a real move).
+fn log_factor(sm: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+    let mag = lo + (hi - lo) * u01(sm);
+    (sign(sm) * mag.ln()).exp()
+}
+
+/// Whether two traces induce different `TaskGraph`s (normalized work or
+/// volume vectors, or edge wiring) — the survival check for weight moves
+/// that could be swallowed by the mean-work normalization.
+fn trace_changed(a: &TraceDag, b: &TraceDag) -> bool {
+    if a.task_count() != b.task_count() || a.edge_count() != b.edge_count() {
+        return true;
+    }
+    let mut ea = a.dag.edge_triples();
+    let mut eb = b.dag.edge_triples();
+    loop {
+        match (ea.next(), eb.next()) {
+            (None, None) => break,
+            (x, y) if x != y => return true,
+            _ => {}
+        }
+    }
+    let (ta, tb) = (a.to_task_graph(), b.to_task_graph());
+    ta.task_work
+        .iter()
+        .zip(&tb.task_work)
+        .any(|(x, y)| x.to_bits() != y.to_bits())
+        || ta
+            .comm_volume
+            .iter()
+            .zip(&tb.comm_volume)
+            .any(|(x, y)| x.to_bits() != y.to_bits())
+}
+
+/// Rebuilds `point.trace` with one edge's endpoints (or the weight
+/// vectors) replaced; shared by the structural operators.
+fn rebuild_trace(
+    point: &SearchPoint,
+    flops: impl Fn(NodeId) -> f64,
+    edges: Vec<(NodeId, NodeId, f64)>,
+) -> Option<TraceDag> {
+    let tasks: Vec<(String, f64)> = point
+        .trace
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(v, t)| (t.name.clone(), flops(v)))
+        .collect();
+    TraceDag::from_parts(point.trace.name.clone(), &tasks, &edges).ok()
+}
+
+/// The trace's current `(src, dst, bytes)` list in edge-id order.
+fn edge_list(trace: &TraceDag) -> Vec<(NodeId, NodeId, f64)> {
+    (0..trace.edge_count())
+        .map(|e| {
+            let (u, v) = trace.dag.edge_endpoints(e);
+            (u, v, trace.edge_bytes[e])
+        })
+        .collect()
+}
+
+/// Edge rewire: one edge `(u, v)` is replaced by `(u', v')`, preserving
+/// acyclicity and the exact entry/exit node sets (degree floors on all
+/// four endpoints), keeping the edge's byte volume.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeRewire;
+
+impl Perturbation for EdgeRewire {
+    fn name(&self) -> &'static str {
+        "rewire"
+    }
+
+    fn apply(&self, point: &SearchPoint, seed: u64) -> Option<SearchPoint> {
+        let dag = &point.trace.dag;
+        let n = point.trace.task_count();
+        let m = point.trace.edge_count();
+        if m == 0 || n < 2 {
+            return None;
+        }
+        let mut sm = SplitMix64::new(derive_seed(seed, 0x5E31));
+        for _ in 0..16 {
+            let e = index(&mut sm, m);
+            let (u, v) = dag.edge_endpoints(e);
+            // Removal must not create a new sink at `u` or source at `v`.
+            if dag.out_degree(u) < 2 || dag.in_degree(v) < 2 {
+                continue;
+            }
+            let u2 = index(&mut sm, n);
+            let v2 = index(&mut sm, n);
+            if u2 == v2 || dag.edge_between(u2, v2).is_some() {
+                continue;
+            }
+            // Addition must not absorb an existing source/sink: both new
+            // endpoints keep positive degrees in the graph minus `e`.
+            let out_minus = dag.out_degree(u2) - usize::from(u2 == u);
+            let in_minus = dag.in_degree(v2) - usize::from(v2 == v);
+            if out_minus == 0 || in_minus == 0 {
+                continue;
+            }
+            // Conservative acyclicity check on the full graph (a fortiori
+            // valid for the graph minus `e`).
+            if dag.reachable_from(v2)[u2] {
+                continue;
+            }
+            let mut edges = edge_list(&point.trace);
+            edges[e] = (u2, v2, point.trace.edge_bytes[e]);
+            let trace = rebuild_trace(point, |t| point.trace.tasks[t].flops, edges)?;
+            debug_assert!(trace.dag.is_acyclic());
+            return Some(SearchPoint {
+                trace,
+                ..point.clone()
+            });
+        }
+        None
+    }
+}
+
+/// Task-weight scale: one task's flop count is multiplied by a log-uniform
+/// factor in `±[1.5, 8]×`, skewing the trace's *relative* sizes (absolute
+/// scale is normalized away — see the module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskScale;
+
+impl Perturbation for TaskScale {
+    fn name(&self) -> &'static str {
+        "task-scale"
+    }
+
+    fn apply(&self, point: &SearchPoint, seed: u64) -> Option<SearchPoint> {
+        let n = point.trace.task_count();
+        if n < 2 {
+            return None;
+        }
+        let mut sm = SplitMix64::new(derive_seed(seed, 0x7A5C));
+        for _ in 0..8 {
+            let t = index(&mut sm, n);
+            let f = log_factor(&mut sm, 1.5, 8.0);
+            if point.trace.tasks[t].flops <= 0.0 {
+                continue;
+            }
+            let trace = rebuild_trace(
+                point,
+                |v| {
+                    if v == t {
+                        point.trace.tasks[v].flops * f
+                    } else {
+                        point.trace.tasks[v].flops
+                    }
+                },
+                edge_list(&point.trace),
+            )?;
+            if !trace_changed(&point.trace, &trace) {
+                continue;
+            }
+            return Some(SearchPoint {
+                trace,
+                ..point.clone()
+            });
+        }
+        None
+    }
+}
+
+/// Edge-weight scale: one edge's byte volume is multiplied by a
+/// log-uniform factor in `±[1.5, 8]×`, skewing the trace's communication
+/// profile (and its realized CCR).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeScale;
+
+impl Perturbation for EdgeScale {
+    fn name(&self) -> &'static str {
+        "edge-scale"
+    }
+
+    fn apply(&self, point: &SearchPoint, seed: u64) -> Option<SearchPoint> {
+        let m = point.trace.edge_count();
+        if m == 0 {
+            return None;
+        }
+        let mut sm = SplitMix64::new(derive_seed(seed, 0xED5C));
+        for _ in 0..8 {
+            let e = index(&mut sm, m);
+            let f = log_factor(&mut sm, 1.5, 8.0);
+            if point.trace.edge_bytes[e] <= 0.0 {
+                continue;
+            }
+            let mut edges = edge_list(&point.trace);
+            edges[e].2 *= f;
+            let trace = rebuild_trace(point, |v| point.trace.tasks[v].flops, edges)?;
+            if !trace_changed(&point.trace, &trace) {
+                continue;
+            }
+            return Some(SearchPoint {
+                trace,
+                ..point.clone()
+            });
+        }
+        None
+    }
+}
+
+/// Per-task UL jitter: one task's uncertainty level is multiplied by a
+/// log-uniform factor in `±[1.05, 1.6]×` and clamped to
+/// `[1 + 1e-6, UL_MAX]` (the variable-UL extension). Initializes the
+/// per-task vector from the global level on first use. Proposals no
+/// longer replay through `from_trace` (the vector is not part of the
+/// WfCommons file), so the gallery search excludes this operator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UlJitter;
+
+impl Perturbation for UlJitter {
+    fn name(&self) -> &'static str {
+        "ul-jitter"
+    }
+
+    fn preserves_from_trace_replay(&self) -> bool {
+        false
+    }
+
+    fn apply(&self, point: &SearchPoint, seed: u64) -> Option<SearchPoint> {
+        let n = point.trace.task_count();
+        let mut sm = SplitMix64::new(derive_seed(seed, 0x01_1E77));
+        let base = point
+            .per_task_ul
+            .clone()
+            .unwrap_or_else(|| vec![point.ul; n]);
+        for _ in 0..8 {
+            let t = index(&mut sm, n);
+            let f = log_factor(&mut sm, 1.05, 1.6);
+            let new_ul = (base[t] * f).clamp(1.0 + 1e-6, UL_MAX);
+            if new_ul.to_bits() == base[t].to_bits() {
+                continue;
+            }
+            let mut uls = base.clone();
+            uls[t] = new_ul;
+            return Some(SearchPoint {
+                per_task_ul: Some(uls),
+                ..point.clone()
+            });
+        }
+        None
+    }
+}
+
+/// Global-UL nudge: the scenario-wide uncertainty level is multiplied by a
+/// log-uniform factor in `±[1.02, 1.5]×` on its excess over 1 (so UL 1.01
+/// moves in percent-scale steps, UL 2 in large ones), clamped to
+/// `[1 + 1e-6, UL_MAX]`. Replays through `from_trace` — the gallery
+/// search's uncertainty knob.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UlShift;
+
+impl Perturbation for UlShift {
+    fn name(&self) -> &'static str {
+        "ul-shift"
+    }
+
+    fn apply(&self, point: &SearchPoint, seed: u64) -> Option<SearchPoint> {
+        if point.per_task_ul.is_some() {
+            // The global level is inert once a per-task vector exists.
+            return None;
+        }
+        let mut sm = SplitMix64::new(derive_seed(seed, 0x01_5817));
+        let f = log_factor(&mut sm, 1.2, 4.0);
+        let ul = (1.0 + (point.ul - 1.0) * f).clamp(1.0 + 1e-6, UL_MAX);
+        if ul.to_bits() == point.ul.to_bits() {
+            return None;
+        }
+        Some(SearchPoint {
+            ul,
+            ..point.clone()
+        })
+    }
+}
+
+/// Speed-CoV nudge: the platform's speed heterogeneity moves by a uniform
+/// `±[0.05, 0.3]` step, clamped to `[0, SPEED_COV_MAX]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpeedCovNudge;
+
+impl Perturbation for SpeedCovNudge {
+    fn name(&self) -> &'static str {
+        "speed-cov"
+    }
+
+    fn apply(&self, point: &SearchPoint, seed: u64) -> Option<SearchPoint> {
+        let mut sm = SplitMix64::new(derive_seed(seed, 0x5C0F));
+        let step = sign(&mut sm) * (0.05 + 0.25 * u01(&mut sm));
+        for candidate in [point.speed_cov + step, point.speed_cov - step] {
+            let cov = candidate.clamp(0.0, SPEED_COV_MAX);
+            if cov.to_bits() != point.speed_cov.to_bits() {
+                return Some(SearchPoint {
+                    speed_cov: cov,
+                    ..point.clone()
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Unrelatedness nudge: the cost matrix's unrelatedness noise moves by a
+/// uniform `±[0.02, 0.15]` step, clamped to `[0, UNRELATEDNESS_MAX]`.
+/// Off the 10 % default the point no longer replays through `from_trace`,
+/// so the gallery search excludes this operator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnrelatednessNudge;
+
+impl Perturbation for UnrelatednessNudge {
+    fn name(&self) -> &'static str {
+        "unrelatedness"
+    }
+
+    fn preserves_from_trace_replay(&self) -> bool {
+        false
+    }
+
+    fn apply(&self, point: &SearchPoint, seed: u64) -> Option<SearchPoint> {
+        let mut sm = SplitMix64::new(derive_seed(seed, 0x0B5E));
+        let step = sign(&mut sm) * (0.02 + 0.13 * u01(&mut sm));
+        for candidate in [point.unrelatedness + step, point.unrelatedness - step] {
+            let unrelatedness = candidate.clamp(0.0, UNRELATEDNESS_MAX);
+            if unrelatedness.to_bits() != point.unrelatedness.to_bits() {
+                return Some(SearchPoint {
+                    unrelatedness,
+                    ..point.clone()
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Machine add: one more machine (up to [`MACHINES_MAX`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MachineAdd;
+
+impl Perturbation for MachineAdd {
+    fn name(&self) -> &'static str {
+        "machine-add"
+    }
+
+    fn apply(&self, point: &SearchPoint, _seed: u64) -> Option<SearchPoint> {
+        if point.machines >= MACHINES_MAX {
+            return None;
+        }
+        Some(SearchPoint {
+            machines: point.machines + 1,
+            ..point.clone()
+        })
+    }
+}
+
+/// Machine remove: one machine fewer (down to [`MACHINES_MIN`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MachineRemove;
+
+impl Perturbation for MachineRemove {
+    fn name(&self) -> &'static str {
+        "machine-remove"
+    }
+
+    fn apply(&self, point: &SearchPoint, _seed: u64) -> Option<SearchPoint> {
+        if point.machines <= MACHINES_MIN {
+            return None;
+        }
+        Some(SearchPoint {
+            machines: point.machines - 1,
+            ..point.clone()
+        })
+    }
+}
+
+/// Platform reseed: a fresh realization seed for the speed vector and
+/// cost noise — a jump move between platforms with identical knobs.
+/// Returns `None` on a fully deterministic platform (zero speed CoV *and*
+/// zero unrelatedness), where the seed is inert.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlatformReseed;
+
+impl Perturbation for PlatformReseed {
+    fn name(&self) -> &'static str {
+        "reseed"
+    }
+
+    fn apply(&self, point: &SearchPoint, seed: u64) -> Option<SearchPoint> {
+        if point.speed_cov == 0.0 && point.unrelatedness == 0.0 {
+            return None;
+        }
+        let new_seed = derive_seed(seed, 0x5EED);
+        if new_seed == point.seed {
+            return None;
+        }
+        Some(SearchPoint {
+            seed: new_seed,
+            ..point.clone()
+        })
+    }
+}
+
+/// All registered perturbations, in a fixed order.
+pub fn perturbation_registry() -> Vec<Box<dyn Perturbation>> {
+    vec![
+        Box::new(EdgeRewire),
+        Box::new(TaskScale),
+        Box::new(EdgeScale),
+        Box::new(UlJitter),
+        Box::new(UlShift),
+        Box::new(SpeedCovNudge),
+        Box::new(UnrelatednessNudge),
+        Box::new(MachineAdd),
+        Box::new(MachineRemove),
+        Box::new(PlatformReseed),
+    ]
+}
+
+/// The subset whose proposals keep [`SearchPoint::replays_from_trace`]
+/// intact — the gallery search's move set.
+pub fn replayable_perturbations() -> Vec<Box<dyn Perturbation>> {
+    perturbation_registry()
+        .into_iter()
+        .filter(|p| p.preserves_from_trace_replay())
+        .collect()
+}
+
+/// Resolves a perturbation by registry name. `None` for unknown names.
+pub fn perturbation_by_name(name: &str) -> Option<Box<dyn Perturbation>> {
+    perturbation_registry()
+        .into_iter()
+        .find(|p| p.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robusched_dag::parsers::parse_trace;
+
+    fn point() -> SearchPoint {
+        let dot = r#"digraph t {
+          a [size="4e9"]; b [size="8e9"]; c [size="2e9"]; d [size="1e9"];
+          a -> b [size="1e9"]; a -> c [size="2e9"];
+          b -> d [size="5e8"]; c -> d [size="3e8"]; b -> c [size="1e8"];
+        }"#;
+        let trace = parse_trace("t.dot", dot).unwrap();
+        SearchPoint::from_trace(trace, 4, 0.5, 1.1, 11)
+    }
+
+    #[test]
+    fn registry_names_unique_and_resolvable() {
+        let reg = perturbation_registry();
+        let mut names: Vec<&str> = reg.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len(), "duplicate perturbation names");
+        for p in &reg {
+            assert!(perturbation_by_name(p.name()).is_some());
+        }
+        assert!(perturbation_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn replayable_subset_excludes_ul_jitter_and_unrelatedness() {
+        let names: Vec<&str> = replayable_perturbations()
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        assert!(!names.contains(&"ul-jitter"));
+        assert!(!names.contains(&"unrelatedness"));
+        assert!(names.contains(&"rewire"));
+        assert!(names.contains(&"ul-shift"));
+    }
+
+    #[test]
+    fn to_scenario_matches_from_trace_at_defaults() {
+        let p = point();
+        assert!(p.replays_from_trace());
+        let a = p.to_scenario();
+        let b = Scenario::from_trace(&p.trace, p.machines, p.speed_cov, p.ul, p.seed);
+        assert_eq!(
+            scenario_fingerprint(&a),
+            scenario_fingerprint(&b),
+            "default knobs must replay through from_trace"
+        );
+    }
+
+    #[test]
+    fn every_operator_changes_the_fingerprint_when_it_reports_a_change() {
+        let p = point();
+        let fp = p.fingerprint();
+        let mut applied = 0;
+        for op in perturbation_registry() {
+            for seed in 0..8u64 {
+                if let Some(q) = op.apply(&p, seed) {
+                    applied += 1;
+                    assert_ne!(fp, q.fingerprint(), "{} produced a no-op", op.name());
+                }
+            }
+        }
+        assert!(applied > 0, "no operator ever applied");
+    }
+
+    #[test]
+    fn operators_are_seed_deterministic() {
+        let p = point();
+        for op in perturbation_registry() {
+            let a = op.apply(&p, 42);
+            let b = op.apply(&p, 42);
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.fingerprint(), y.fingerprint(), "{}", op.name())
+                }
+                _ => panic!("{} not deterministic", op.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn rewire_preserves_entry_and_exit_sets() {
+        let p = point();
+        let entries = p.trace.dag.entry_nodes();
+        let exits = p.trace.dag.exit_nodes();
+        let mut seen = 0;
+        for seed in 0..64u64 {
+            if let Some(q) = EdgeRewire.apply(&p, seed) {
+                seen += 1;
+                assert!(q.trace.dag.is_acyclic());
+                assert_eq!(q.trace.dag.entry_nodes(), entries);
+                assert_eq!(q.trace.dag.exit_nodes(), exits);
+                assert_eq!(q.trace.edge_count(), p.trace.edge_count());
+            }
+        }
+        assert!(seen > 0, "rewire never applied on a rewireable graph");
+    }
+
+    #[test]
+    fn machine_bounds_are_respected() {
+        let mut p = point();
+        p.machines = MACHINES_MAX;
+        assert!(MachineAdd.apply(&p, 0).is_none());
+        p.machines = MACHINES_MIN;
+        assert!(MachineRemove.apply(&p, 0).is_none());
+        p.machines = 4;
+        assert_eq!(MachineAdd.apply(&p, 0).unwrap().machines, 5);
+        assert_eq!(MachineRemove.apply(&p, 0).unwrap().machines, 3);
+    }
+}

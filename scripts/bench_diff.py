@@ -9,7 +9,8 @@ Prints one line per benchmark present in both files (delta < 0 means the
 current run is faster) plus a per-group geometric-mean summary. The report
 is advisory except for benchmarks matching ``--fail-regression`` — a
 comma-separated glob list, default ``discrete-rv/*,mc-engine/*,
-makespan-evaluators/mc-*,eval-service/*,ext-traces/*,dynamic/*``: if any of those
+makespan-evaluators/mc-*,eval-service/*,ext-traces/*,dynamic/*,adversarial/*``:
+if any of those
 regressed by more than ``--threshold`` percent (default 25), the script
 exits non-zero.
 
@@ -36,7 +37,7 @@ def main():
     ap.add_argument("current")
     ap.add_argument(
         "--fail-regression",
-        default="discrete-rv/*,mc-engine/*,makespan-evaluators/mc-*,eval-service/*,ext-traces/*,dynamic/*",
+        default="discrete-rv/*,mc-engine/*,makespan-evaluators/mc-*,eval-service/*,ext-traces/*,dynamic/*,adversarial/*",
         help="comma-separated globs of benchmark names whose regression fails the check",
     )
     ap.add_argument(

@@ -103,7 +103,10 @@ fn ext_faults_summary_is_reproducible() {
 /// never the best answer to a machine fault.
 #[test]
 fn committed_artifact_shows_recovery_beats_abandon() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/ext_faults_summary.csv");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/ext_faults_summary.csv"
+    );
     let text = std::fs::read_to_string(path).expect("committed artifact present");
     let mut lines = text.lines();
     assert_eq!(lines.next(), Some(faults::SUMMARY_HEADER));
@@ -130,8 +133,7 @@ fn committed_artifact_shows_recovery_beats_abandon() {
 
     for &oversub in &faults::OVERSUB {
         for &fault in faults::FAULTS.iter().filter(|f| **f != "none") {
-            let key =
-                |r: &str| (format!("{oversub}"), fault.to_string(), r.to_string());
+            let key = |r: &str| (format!("{oversub}"), fault.to_string(), r.to_string());
             let abandon = cells[&key("abandon")];
             let best = faults::RECOVERY
                 .iter()
@@ -152,7 +154,10 @@ fn committed_artifact_shows_recovery_beats_abandon() {
 /// faulted deadline miss-rate — offline rankings survive machine faults.
 #[test]
 fn committed_ranking_shows_cluster_survives_faults() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/ext_faults_ranking.csv");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/ext_faults_ranking.csv"
+    );
     let text = std::fs::read_to_string(path).expect("committed artifact present");
     let mut lines = text.lines();
     assert_eq!(lines.next(), Some(faults::RANKING_HEADER));
